@@ -1,0 +1,36 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table/figure of the paper's evaluation
+(§7) and prints a paper-vs-measured comparison (run pytest with ``-s`` to
+see it; the same numbers are attached as ``extra_info`` on the benchmark
+record).  Simulations run once per benchmark (``pedantic`` with one round)
+— the interesting output is the *reproduction*, not the harness's own
+wall time.
+
+``REPRO_BENCH_SCALE`` (default 0.5) scales workload repeat counts; larger
+values sharpen the reproduced ratios at the cost of wall time.
+"""
+
+import os
+
+import pytest
+
+#: Workload repeat-count multiplier for all benchmarks.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,116 @@
+"""Ablations: what each ingredient of Occamy's design buys.
+
+Not a paper figure — DESIGN.md's per-design-choice study.  Four variants
+of the elastic policy run the motivating pair (and a resident-compute
+pair for the hierarchical-roofline ablation):
+
+* full Occamy (roofline greedy + lazy monitor);
+* ``equal-split`` (no phase-behaviour awareness);
+* ``flat-memory`` (no hierarchical roofline);
+* ``eager-only`` (no lazy monitor — compiled with ``elastic=False``).
+"""
+
+from benchmarks.conftest import banner, run_once
+from repro import Job, OCCAMY, PRIVATE, build_image, compile_kernel, run_policy
+from repro.analysis.reporting import format_table
+from repro.common.config import experiment_config
+from repro.compiler.pipeline import CompileOptions
+from repro.core.ablations import EQUAL_SPLIT, FLAT_MEMORY, NO_ISSUE_CEILING
+from repro.workloads.motivating import motivating_pair
+from repro.workloads.pairs import CoRunPair, jobs_for_pair
+
+
+def _run_motivating(scale):
+    config = experiment_config()
+    wl0, wl1 = motivating_pair(scale)
+    elastic = CompileOptions(memory=config.memory)
+    eager_only = CompileOptions(memory=config.memory, elastic=False)
+    programs = {
+        "elastic": (compile_kernel(wl0, elastic), compile_kernel(wl1, elastic)),
+        "eager": (compile_kernel(wl0, eager_only), compile_kernel(wl1, eager_only)),
+    }
+
+    def jobs(kind):
+        p0, p1 = programs[kind]
+        return [Job(p0, build_image(wl0, 0)), Job(p1, build_image(wl1, 1))]
+
+    results = {
+        "private": run_policy(config, PRIVATE, jobs("elastic")),
+        "occamy (full)": run_policy(config, OCCAMY, jobs("elastic")),
+        "equal-split": run_policy(config, EQUAL_SPLIT, jobs("elastic")),
+        "no-issue-ceiling": run_policy(config, NO_ISSUE_CEILING, jobs("elastic")),
+        "eager-only": run_policy(config, OCCAMY, jobs("eager")),
+    }
+    return results
+
+
+def test_ablations_motivating_pair(benchmark, bench_scale):
+    scale = max(bench_scale, 0.5)
+    results = run_once(benchmark, lambda: _run_motivating(scale))
+
+    base = results["private"]
+    rows = []
+    for key, result in results.items():
+        rows.append(
+            [
+                key,
+                f"{result.speedup_over(base, 0):.2f}",
+                f"{result.speedup_over(base, 1):.2f}",
+                f"{100 * result.metrics.simd_utilization():.1f}%",
+            ]
+        )
+    banner("Ablations — motivating pair (speedups over Private)")
+    print(format_table(["variant", "sp0 (memory)", "sp1 (compute)", "util"], rows))
+
+    full = results["occamy (full)"]
+    # Equal split ignores phase behaviour: the compute core gets only half
+    # the lanes while co-running, losing speedup vs the full design.
+    assert full.speedup_over(base, 1) > results["equal-split"].speedup_over(base, 1)
+    # Without the lazy monitor a phase can never shrink mid-flight, so a
+    # co-runner entering a more demanding phase spins on MSR <VL> until the
+    # hog exits — the memory core's performance collapses.  The full design
+    # preserves it.
+    assert full.speedup_over(base, 0) > 0.95
+    assert results["eager-only"].speedup_over(base, 0) < 0.9
+    # Dropping the issue ceiling under-allocates memory phases (Case 4):
+    # the compute core gains lanes but the memory core pays for them.
+    assert results["no-issue-ceiling"].speedup_over(base, 0) < 0.9
+    # The full design achieves the best overall SIMD utilisation.
+    utils = {k: r.metrics.simd_utilization() for k, r in results.items()}
+    assert utils["occamy (full)"] == max(utils.values())
+
+    benchmark.extra_info["speedups_core1"] = {
+        key: result.speedup_over(base, 1) for key, result in results.items()
+    }
+
+
+def test_ablation_hierarchical_roofline(benchmark, bench_scale):
+    # Pair 1+13: WL13 (set_vbc, oi 0.56) is Vec-Cache resident.  The flat
+    # (DRAM-only) roofline caps it at 32*0.56 ~ 18 lanes; the hierarchical
+    # roofline lets it take everything once WL1 finishes.
+    config = experiment_config()
+    pair = CoRunPair("spec", 1, 13)
+
+    def runs():
+        return {
+            "private": run_policy(config, PRIVATE, jobs_for_pair(pair, bench_scale)),
+            "occamy (full)": run_policy(config, OCCAMY, jobs_for_pair(pair, bench_scale)),
+            "flat-memory": run_policy(config, FLAT_MEMORY, jobs_for_pair(pair, bench_scale)),
+        }
+
+    results = run_once(benchmark, runs)
+    base = results["private"]
+    rows = [
+        [key, f"{r.speedup_over(base, 1):.2f}",
+         f"{max(v for _, v in r.metrics.lane_timeline[1].points or [(0, 0)]):.0f}"]
+        for key, r in results.items()
+    ]
+    banner("Ablation — hierarchical roofline (pair spec:1+13, Core1)")
+    print(format_table(["variant", "sp1", "peak lanes (c1)"], rows))
+
+    full = results["occamy (full)"]
+    flat = results["flat-memory"]
+    assert full.speedup_over(base, 1) > flat.speedup_over(base, 1)
+    peak_full = max(v for _, v in full.metrics.lane_timeline[1].points)
+    peak_flat = max(v for _, v in flat.metrics.lane_timeline[1].points)
+    assert peak_full > peak_flat

@@ -1,0 +1,66 @@
+"""Energy and energy-delay product across the sharing policies.
+
+Not a paper figure — the paper's FTS/VLS baselines descend from Beldianu
+& Ziavras's *performance-energy* studies, so a full reproduction should
+say what elastic sharing costs energetically.  Expectation: the policies
+execute the same instructions (same dynamic compute/memory energy, within
+cache-behaviour noise), so the winner is decided by *leakage over
+runtime* — Occamy's shorter co-run makes it the energy-delay winner.
+"""
+
+from benchmarks.conftest import banner, run_once
+from repro import Job, build_image, compile_kernel, run_policy
+from repro.analysis.energy import compare_energy
+from repro.analysis.reporting import format_table
+from repro.common.config import experiment_config
+from repro.compiler.pipeline import CompileOptions
+from repro.core.policies import ALL_POLICIES
+from repro.workloads.motivating import motivating_pair
+
+
+def _run(scale):
+    config = experiment_config()
+    wl0, wl1 = motivating_pair(scale)
+    options = CompileOptions(memory=config.memory)
+    p0, p1 = compile_kernel(wl0, options), compile_kernel(wl1, options)
+    results = {}
+    for policy in ALL_POLICIES:
+        jobs = [Job(p0, build_image(wl0, 0)), Job(p1, build_image(wl1, 1))]
+        results[policy.key] = run_policy(config, policy, jobs)
+    return compare_energy(results)
+
+
+def test_energy_delay_product(benchmark, bench_scale):
+    reports = run_once(benchmark, lambda: _run(max(bench_scale, 0.5)))
+
+    rows = []
+    for key, report in reports.items():
+        rows.append(
+            [
+                key,
+                f"{report.total_uj:.1f}",
+                f"{report.components_uj['dram']:.1f}",
+                f"{report.components_uj['leakage']:.1f}",
+                f"{report.runtime_us:.1f}",
+                f"{report.edp:.0f}",
+            ]
+        )
+    banner("Energy — motivating pair (uJ; EDP in uJ*us)")
+    print(
+        format_table(
+            ["arch", "total", "dram", "leakage", "runtime us", "EDP"], rows
+        )
+    )
+
+    # Same workloads => DRAM traffic within noise across policies.
+    dram = [r.components_uj["dram"] for r in reports.values()]
+    assert max(dram) < 1.6 * min(dram)
+    # Occamy finishes soonest => best energy-delay product.
+    edp = {key: report.edp for key, report in reports.items()}
+    assert edp["occamy"] == min(edp.values())
+    # And its leakage share shrinks with runtime.
+    assert (
+        reports["occamy"].components_uj["leakage"]
+        <= reports["private"].components_uj["leakage"]
+    )
+    benchmark.extra_info["edp"] = edp

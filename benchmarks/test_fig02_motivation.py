@@ -1,0 +1,70 @@
+"""Fig. 2: the motivating example — four architectures co-running
+654.rom_s (WL#0, memory-intensive, two phases) and 621.wrf_s (WL#1,
+compute-intensive) on two cores.
+
+Paper reference (Fig. 2(f)): with Private as baseline, the WL#1 speedups
+are FTS 1.41x, VLS 1.25x, Occamy 1.62x while WL#0 stays at ~1.0x; SIMD
+utilisation is 60.6 / 84.7 / 75.6 / 96.7 %.  Occamy's lane plan replays
+Fig. 8: 8 -> 12 lanes for WL#0 and 24 -> 20 -> 32 for WL#1.
+"""
+
+from benchmarks.conftest import banner, run_once
+from repro.analysis.experiments import motivation_fig2
+from repro.analysis.reporting import format_series, format_table
+
+PAPER = {
+    "private": {"sp1": 1.00, "util": 0.606},
+    "fts": {"sp1": 1.41, "util": 0.847},
+    "vls": {"sp1": 1.25, "util": 0.756},
+    "occamy": {"sp1": 1.62, "util": 0.967},
+}
+
+
+def test_fig02_motivating_example(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: motivation_fig2(scale=bench_scale))
+
+    rows = []
+    for key in ("private", "fts", "vls", "occamy"):
+        run = result.results[key]
+        rows.append(
+            [
+                key,
+                run.core_time(0),
+                run.core_time(1),
+                f"{result.speedup(key, 0):.2f}",
+                f"{result.speedup(key, 1):.2f}",
+                f"{PAPER[key]['sp1']:.2f}",
+                f"{100 * result.utilization(key):.1f}%",
+                f"{100 * PAPER[key]['util']:.1f}%",
+            ]
+        )
+    banner("Fig. 2(f) — motivating example (paper values in brackets)")
+    print(
+        format_table(
+            ["arch", "WL#0 cyc", "WL#1 cyc", "sp0", "sp1", "sp1(paper)",
+             "util", "util(paper)"],
+            rows,
+        )
+    )
+    banner("Fig. 2(b)-(e) — busy lanes per core (1000-cycle buckets)")
+    for key in ("private", "occamy"):
+        for core in (0, 1):
+            print(format_series(f"{key} core{core}", result.lane_series(key, core)))
+    plans = result.results["occamy"].lane_manager.plan_history
+    print("Occamy lane plans (cycle -> {core: lanes}):", plans[:8])
+
+    benchmark.extra_info["speedups_core1"] = {
+        key: result.speedup(key, 1) for key in PAPER
+    }
+    benchmark.extra_info["utilization"] = {
+        key: result.utilization(key) for key in PAPER
+    }
+
+    # Shape assertions: who wins and roughly how.
+    assert result.speedup("occamy", 1) > result.speedup("vls", 1) > 1.1
+    assert result.speedup("fts", 1) > 1.0
+    assert 0.85 < result.speedup("occamy", 0) < 1.15  # WL#0 preserved
+    utils = {key: result.utilization(key) for key in PAPER}
+    assert utils["occamy"] == max(utils.values())
+    core0_plans = [plan[0] for _, plan in plans if plan.get(0)]
+    assert core0_plans[0] == 8 and 12 in core0_plans  # Fig. 8 schedule

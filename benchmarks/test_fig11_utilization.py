@@ -1,0 +1,36 @@
+"""Fig. 11: SIMD utilisation of the four architectures over the 25 pairs.
+
+Paper reference (geometric means): Private 63.2%, FTS 72.5%, VLS 70.8%,
+Occamy 84.2%.  Our absolute utilisation runs lower (our memory-intensive
+phases stream DRAM harder than SPEC REF's partially-resident loops — see
+EXPERIMENTS.md), so the comparison is about ordering and relative gain.
+"""
+
+from benchmarks.conftest import banner, run_once
+from repro.analysis.experiments import sweep_pairs
+from repro.analysis.reporting import format_table, geomean
+
+PAPER_GM = {"private": 0.632, "fts": 0.725, "vls": 0.708, "occamy": 0.842}
+POLICIES = ("private", "fts", "vls", "occamy")
+
+
+def test_fig11_utilization(benchmark, bench_scale):
+    outcomes = run_once(benchmark, lambda: sweep_pairs(scale=bench_scale))
+
+    rows = [
+        [str(o.pair)] + [f"{100 * o.utilization(key):.1f}%" for key in POLICIES]
+        for o in outcomes
+    ]
+    gms = {key: geomean([o.utilization(key) for o in outcomes]) for key in POLICIES}
+    rows.append(["GM"] + [f"{100 * gms[key]:.1f}%" for key in POLICIES])
+    rows.append(["GM(paper)"] + [f"{100 * PAPER_GM[key]:.1f}%" for key in POLICIES])
+    banner("Fig. 11 — SIMD utilisation")
+    print(format_table(["pair", "Private", "FTS", "VLS", "Occamy"], rows))
+
+    benchmark.extra_info["gm_utilization"] = gms
+
+    # Shape: Occamy achieves the highest utilisation and improves on
+    # Private by >= 1.15x (paper: 1.33x; our DRAM-streaming memory phases
+    # depress the co-run average — see EXPERIMENTS.md).
+    assert gms["occamy"] == max(gms.values())
+    assert gms["occamy"] / gms["private"] > 1.15

@@ -1,0 +1,49 @@
+"""Fig. 12: chip-area breakdown of the four SIMD architectures.
+
+Paper reference: ~1.263 mm² (1.265 mm² for Occamy) in TSMC 7 nm for the
+two-core configuration; SIMD execution units 46%, LSU 23%, register file
+15%; the Manager costs < 1% of total area (Occamy only).
+"""
+
+import pytest
+
+from benchmarks.conftest import banner, run_once
+from repro.analysis.area import area_model
+from repro.analysis.reporting import format_table
+from repro.common.config import table4_config
+
+POLICIES = ("private", "fts", "vls", "occamy")
+
+
+def test_fig12_area_breakdown(benchmark):
+    config = table4_config()
+    breakdowns = run_once(
+        benchmark, lambda: {key: area_model(config, key) for key in POLICIES}
+    )
+
+    components = sorted(
+        {name for b in breakdowns.values() for name in b.components},
+        key=lambda name: -breakdowns["occamy"].components.get(name, 0),
+    )
+    rows = [
+        [name] + [f"{breakdowns[key].components.get(name, 0):.4f}" for key in POLICIES]
+        for name in components
+    ]
+    rows.append(["TOTAL"] + [f"{breakdowns[key].total:.3f}" for key in POLICIES])
+    rows.append(["TOTAL(paper)", "1.263", "1.263", "1.263", "1.265"])
+    banner("Fig. 12 — area breakdown (mm², 2-core configuration)")
+    print(format_table(["component"] + [p.upper() for p in POLICIES], rows))
+
+    occamy = breakdowns["occamy"]
+    benchmark.extra_info["totals"] = {k: b.total for k, b in breakdowns.items()}
+
+    assert occamy.total == pytest.approx(1.265, abs=0.02)
+    assert occamy.fraction("simd_exe_units") == pytest.approx(0.46, abs=0.02)
+    assert occamy.fraction("lsu") == pytest.approx(0.23, abs=0.02)
+    assert occamy.fraction("register_file") == pytest.approx(0.15, abs=0.02)
+    assert occamy.fraction("manager") < 0.01
+    # Scaling to 4 cores: FTS pays +33.5% for per-core contexts (§7.6).
+    config4 = table4_config(num_cores=4)
+    ratio = area_model(config4, "fts").total / area_model(config4, "private").total
+    print(f"4-core FTS area overhead: +{100 * (ratio - 1):.1f}% (paper: +33.5%)")
+    assert ratio - 1 == pytest.approx(0.335, abs=0.04)

@@ -1,0 +1,47 @@
+"""Fig. 13: fraction of cycles stalled waiting for free registers on FTS.
+
+Paper reference: renaming stalls occupy over 70% of cycles on FTS
+(geometric mean across pairs and cores) and essentially none on the other
+three architectures — the cost of keeping every core's full-width context
+resident in the shared VRF.
+"""
+
+from benchmarks.conftest import banner, run_once
+from repro.analysis.experiments import sweep_pairs
+from repro.analysis.reporting import format_table, geomean
+
+
+def test_fig13_rename_stalls(benchmark, bench_scale):
+    outcomes = run_once(benchmark, lambda: sweep_pairs(scale=bench_scale))
+
+    rows = []
+    for outcome in outcomes:
+        rows.append(
+            [
+                str(outcome.pair),
+                f"{100 * outcome.rename_stall_fraction('fts', 0):.0f}%",
+                f"{100 * outcome.rename_stall_fraction('fts', 1):.0f}%",
+                f"{100 * outcome.rename_stall_fraction('occamy', 0):.0f}%",
+                f"{100 * outcome.rename_stall_fraction('occamy', 1):.0f}%",
+            ]
+        )
+    fts_fractions = [
+        max(o.rename_stall_fraction("fts", core) for core in (0, 1))
+        for o in outcomes
+    ]
+    others = [
+        o.rename_stall_fraction(key, core)
+        for o in outcomes
+        for key in ("private", "vls", "occamy")
+        for core in (0, 1)
+    ]
+    gm_fts = geomean([f for f in fts_fractions if f > 0])
+    rows.append(["GM(FTS, worst core)", f"{100 * gm_fts:.0f}%", "", "", ""])
+    rows.append(["paper", ">70%", "", "~0%", ""])
+    banner("Fig. 13 — cycles stalled waiting for free registers")
+    print(format_table(["pair", "FTS c0", "FTS c1", "Occ c0", "Occ c1"], rows))
+
+    benchmark.extra_info["gm_fts_rename_stall"] = gm_fts
+
+    assert gm_fts > 0.4  # dominant on FTS (paper: > 0.7)
+    assert max(others) < 0.05  # hardly any on the other three

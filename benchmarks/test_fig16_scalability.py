@@ -1,0 +1,45 @@
+"""Fig. 16: scaling to four cores — four SPEC workload groups with two
+memory-intensive workloads on Core0/1 and two compute-intensive ones on
+Core2/3 (the last group runs three memory + one compute).
+
+Paper reference: Occamy fares like Private/FTS/VLS on the memory cores
+but delivers the best speedups on Core2/Core3, scaling well from 2 to 4
+cores; FTS must grow its VRF by 33.5% to even compete (see Fig. 12 bench).
+"""
+
+from benchmarks.conftest import banner, run_once
+from repro.analysis.experiments import four_core_fig16
+from repro.analysis.reporting import format_table, geomean
+from repro.workloads.pairs import FOUR_CORE_GROUPS
+
+POLICIES = ("fts", "vls", "occamy")
+
+
+def test_fig16_four_core_scalability(benchmark, bench_scale):
+    results = run_once(benchmark, lambda: four_core_fig16(scale=bench_scale))
+
+    rows = []
+    compute_speedups = {key: [] for key in POLICIES}
+    for group, per_policy in zip(FOUR_CORE_GROUPS, results):
+        private = per_policy["private"]
+        for key in POLICIES:
+            speedups = [
+                per_policy[key].speedup_over(private, core) for core in range(4)
+            ]
+            compute_speedups[key] += speedups[2:]
+            rows.append(
+                ["+".join(map(str, group)), key]
+                + [f"{s:.2f}" for s in speedups]
+            )
+    for key in POLICIES:
+        rows.append(["GM (core2/3)", key, "", "",
+                     f"{geomean(compute_speedups[key]):.2f}", ""])
+    banner("Fig. 16 — 4-core speedups over Private")
+    print(format_table(["group", "arch", "c0", "c1", "c2", "c3"], rows))
+
+    gm = {key: geomean(compute_speedups[key]) for key in POLICIES}
+    benchmark.extra_info["gm_compute_cores"] = gm
+
+    # Shape: Occamy delivers the best compute-core speedups at 4 cores.
+    assert gm["occamy"] > 1.1
+    assert gm["occamy"] >= max(gm["fts"], gm["vls"]) - 0.02

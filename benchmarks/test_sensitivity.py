@@ -1,0 +1,57 @@
+"""Sensitivity study: where does elastic sharing pay off?
+
+Not a paper figure — DESIGN.md's parameter-sensitivity study.  Sweeps one
+machine parameter at a time on the motivating pair and reports Occamy's
+compute-core speedup over Private:
+
+* more **total lanes** leave more slack for the elastic policy to
+  reassign, so the benefit grows with the pool;
+* scarcer **DRAM bandwidth** saturates memory phases earlier, freeing
+  lanes (benefit grows as bandwidth shrinks);
+* the **in-flight window** sets how early a streaming phase becomes
+  bandwidth- rather than latency-bound.
+"""
+
+from benchmarks.conftest import banner, run_once
+from repro.analysis.reporting import format_table
+from repro.analysis.sensitivity import SWEEPS, sweep
+
+
+def test_sensitivity_sweeps(benchmark, bench_scale):
+    scale = min(bench_scale, 0.35)
+
+    def run_all():
+        return {name: sweep(name, scale=scale) for name in SWEEPS}
+
+    results = run_once(benchmark, run_all)
+
+    for name, points in results.items():
+        rows = [
+            [
+                point.value,
+                point.private_cycles,
+                point.occamy_cycles,
+                f"{point.compute_speedup:.2f}",
+                f"{point.memory_speedup:.2f}",
+                f"{point.utilization_gain:.2f}",
+            ]
+            for point in points
+        ]
+        banner(f"Sensitivity — {name}")
+        print(
+            format_table(
+                [name, "private cyc", "occamy cyc", "sp1", "sp0", "util gain"],
+                rows,
+            )
+        )
+
+    lanes = {p.value: p.compute_speedup for p in results["total_lanes"]}
+    # More lanes -> more elastic benefit on the compute core.
+    assert lanes[64] > lanes[16]
+    # Elastic sharing never devastates either core at any point.
+    for points in results.values():
+        for point in points:
+            assert point.memory_speedup > 0.8
+            assert point.compute_speedup > 0.9
+
+    benchmark.extra_info["lanes_speedups"] = lanes

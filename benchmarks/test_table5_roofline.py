@@ -1,0 +1,56 @@
+"""Table 5: attainable performance (GFLOP/s) for WL8.p1 under Eq. 4.
+
+Paper reference (exact): issue-bound 5.3/10.7/16/21.3/26.7/32/37.3/42.7,
+memory bound 16 flat, computation bound 8/16/24/32/40/48/56/64, attained
+performance 5.3/10.7/16/16/... — issue-bandwidth-bound below 12 lanes,
+memory-bound above.
+"""
+
+import pytest
+
+from benchmarks.conftest import banner, run_once
+from repro.analysis.experiments import table5_rows
+from repro.analysis.reporting import format_table
+from repro.common.config import table4_config
+
+PAPER = {
+    4: (5.3, 16.0, 8.0, 5.3),
+    8: (10.7, 16.0, 16.0, 10.7),
+    12: (16.0, 16.0, 24.0, 16.0),
+    16: (21.3, 16.0, 32.0, 16.0),
+    20: (26.7, 16.0, 40.0, 16.0),
+    24: (32.0, 16.0, 48.0, 16.0),
+    28: (37.3, 16.0, 56.0, 16.0),
+    32: (42.7, 16.0, 64.0, 16.0),
+}
+
+
+def test_table5_attainable_performance(benchmark):
+    rows = run_once(benchmark, lambda: table5_rows(table4_config()))
+
+    printable = []
+    for row in rows:
+        paper = PAPER[int(row["vl"])]
+        printable.append(
+            [
+                int(row["vl"]),
+                f"{row['simd_issue_bound']:.1f} ({paper[0]})",
+                f"{row['mem_bound']:.1f} ({paper[1]})",
+                f"{row['comp_bound']:.1f} ({paper[2]})",
+                f"{row['performance']:.1f} ({paper[3]})",
+            ]
+        )
+    banner("Table 5 — WL8.p1 attainable GFLOP/s, measured (paper)")
+    print(
+        format_table(
+            ["VL", "SIMDIssueBound", "MemBound", "CompBound", "Performance"],
+            printable,
+        )
+    )
+
+    for row in rows:
+        paper = PAPER[int(row["vl"])]
+        assert row["simd_issue_bound"] == pytest.approx(paper[0], abs=0.05)
+        assert row["mem_bound"] == pytest.approx(paper[1], abs=0.05)
+        assert row["comp_bound"] == pytest.approx(paper[2], abs=0.05)
+        assert row["performance"] == pytest.approx(paper[3], abs=0.05)

@@ -1,0 +1,68 @@
+"""Related-work baselines: coarse- vs fine-grained temporal sharing.
+
+The paper's FTS/VLS baselines come from Beldianu & Ziavras ([3, 4]), who
+compared coarse- and fine-grained temporal sharing and a static spatial
+policy, finding fine-grained temporal sharing the most effective of the
+three.  This benchmark adds their coarse-grained variant (CTS: exclusive
+whole-co-processor ownership per quantum, drain penalty on hand-over, no
+shared-VRF renaming pressure) and shows the full ordering against Occamy.
+"""
+
+from benchmarks.conftest import banner, run_once
+from repro import Job, build_image, compile_kernel
+from repro.analysis.reporting import format_table
+from repro.common.config import experiment_config
+from repro.compiler.pipeline import CompileOptions
+from repro.coproc.metrics import StallReason
+from repro.core import run_policy
+from repro.core.policies import CTS, EXTENDED_POLICIES
+from repro.workloads.motivating import motivating_pair
+
+
+def _run(scale):
+    config = experiment_config()
+    wl0, wl1 = motivating_pair(scale)
+    options = CompileOptions(memory=config.memory)
+    p0, p1 = compile_kernel(wl0, options), compile_kernel(wl1, options)
+    results = {}
+    for policy in EXTENDED_POLICIES:
+        jobs = [Job(p0, build_image(wl0, 0)), Job(p1, build_image(wl1, 1))]
+        results[policy.key] = run_policy(config, policy, jobs)
+    return results
+
+
+def test_temporal_sharing_baselines(benchmark, bench_scale):
+    results = run_once(benchmark, lambda: _run(max(bench_scale, 0.5)))
+    base = results["private"]
+
+    rows = []
+    for key, result in results.items():
+        rename = max(
+            result.metrics.stall_fraction(core, StallReason.RENAME)
+            for core in (0, 1)
+        )
+        rows.append(
+            [
+                key,
+                f"{result.speedup_over(base, 0):.2f}",
+                f"{result.speedup_over(base, 1):.2f}",
+                f"{100 * result.metrics.simd_utilization():.1f}%",
+                f"{100 * rename:.0f}%",
+            ]
+        )
+    banner("Temporal-sharing baselines — motivating pair")
+    print(format_table(["arch", "sp0", "sp1", "util", "rename stalls"], rows))
+
+    # CTS trades renaming pressure for hand-over drains: no rename stalls.
+    cts = results["cts"].metrics
+    assert max(cts.stall_fraction(c, StallReason.RENAME) for c in (0, 1)) < 0.02
+    fts = results["fts"].metrics
+    assert max(fts.stall_fraction(c, StallReason.RENAME) for c in (0, 1)) > 0.3
+    # Occamy beats both temporal variants on the compute core.
+    assert results["occamy"].speedup_over(base, 1) > max(
+        results["cts"].speedup_over(base, 1),
+        results["fts"].speedup_over(base, 1),
+    )
+    benchmark.extra_info["speedups_core1"] = {
+        key: result.speedup_over(base, 1) for key, result in results.items()
+    }

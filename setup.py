@@ -1,0 +1,8 @@
+"""Shim so `pip install -e .` works offline (no wheel / no build isolation).
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

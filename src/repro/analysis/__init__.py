@@ -1,0 +1,73 @@
+"""Evaluation drivers: one entry point per paper figure/table.
+
+``experiments`` runs the simulations (with memoisation so Fig. 10/11/13/15
+share one pair sweep), ``area`` provides the Fig. 12 analytical area model,
+and ``reporting`` renders ASCII tables/series like the paper's plots.
+"""
+
+from repro.analysis.area import AreaBreakdown, area_model
+from repro.analysis.energy import (
+    EnergyCoefficients,
+    EnergyReport,
+    compare_energy,
+    energy_report,
+)
+from repro.analysis.experiments import (
+    CaseStudyResult,
+    MotivationResult,
+    PairOutcome,
+    case_study_fig14,
+    clear_sweep_cache,
+    four_core_fig16,
+    motivation_fig2,
+    overhead_fig15,
+    pair_outcome,
+    run_with_fixed_lanes,
+    sweep_pairs,
+    table5_rows,
+)
+from repro.analysis.plots import (
+    bar_chart_svg,
+    lane_timeline_svg,
+    series_svg,
+    write_svg,
+)
+from repro.analysis.reporting import format_series, format_table, geomean
+from repro.analysis.sensitivity import SensitivityPoint, sweep
+from repro.analysis.trace import export_trace, phase_gantt, trace_dict
+from repro.analysis.validation import PhaseValidation, validate_phase
+
+__all__ = [
+    "AreaBreakdown",
+    "EnergyCoefficients",
+    "EnergyReport",
+    "PhaseValidation",
+    "SensitivityPoint",
+    "bar_chart_svg",
+    "compare_energy",
+    "energy_report",
+    "export_trace",
+    "lane_timeline_svg",
+    "phase_gantt",
+    "series_svg",
+    "sweep",
+    "trace_dict",
+    "validate_phase",
+    "write_svg",
+    "CaseStudyResult",
+    "MotivationResult",
+    "PairOutcome",
+    "area_model",
+    "case_study_fig14",
+    "clear_sweep_cache",
+    "format_series",
+    "format_table",
+    "four_core_fig16",
+    "geomean",
+    "motivation_fig2",
+    "overhead_fig15",
+    "pair_outcome",
+    "run_with_fixed_lanes",
+    "sweep_pairs",
+    "table5_rows",
+]

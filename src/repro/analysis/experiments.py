@@ -1,0 +1,289 @@
+"""Experiment drivers — one per evaluation figure/table (paper §7).
+
+All drivers share a memoised sweep cache so Fig. 10 (speedups), Fig. 11
+(utilisation), Fig. 13 (renaming stalls) and Fig. 15 (overhead) reuse the
+same 25-pair x 4-policy simulations instead of re-running them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import MachineConfig, experiment_config
+from repro.compiler.ir import Kernel
+from repro.compiler.pipeline import CompileOptions, build_image, compile_kernel
+from repro.coproc.coprocessor import SharingMode
+from repro.coproc.metrics import StallReason
+from repro.core.lane_manager import StaticLaneManager
+from repro.core.machine import Job, RunResult, run_policy
+from repro.core.policies import ALL_POLICIES, PRIVATE, Policy
+from repro.core.roofline import RooflineModel
+from repro.isa.registers import OIValue
+from repro.workloads.motivating import motivating_pair
+from repro.workloads.pairs import (
+    FOUR_CORE_GROUPS,
+    CoRunPair,
+    all_pairs,
+    jobs_for_group,
+    jobs_for_pair,
+    workload_job,
+)
+from repro.workloads.spec import spec_workload
+
+#: Default workload scale for the benchmark harness (repeat multiplier).
+DEFAULT_SCALE = 0.35
+
+_sweep_cache: Dict[Tuple[object, ...], RunResult] = {}
+
+
+def clear_sweep_cache() -> None:
+    """Drop memoised simulation results (tests use this for isolation)."""
+    _sweep_cache.clear()
+
+
+def _cached_pair_run(
+    pair: CoRunPair, policy: Policy, scale: float, config: MachineConfig
+) -> RunResult:
+    key = (str(pair), policy.key, scale, config.num_cores, id(type(config)))
+    if key not in _sweep_cache:
+        _sweep_cache[key] = run_policy(config, policy, jobs_for_pair(pair, scale))
+    return _sweep_cache[key]
+
+
+@dataclass
+class PairOutcome:
+    """All four policies' results for one co-running pair."""
+
+    pair: CoRunPair
+    results: Dict[str, RunResult]
+
+    def speedup(self, policy_key: str, core: int) -> float:
+        """Per-core speedup over the Private baseline (Fig. 10)."""
+        return self.results[policy_key].speedup_over(self.results["private"], core)
+
+    def utilization(self, policy_key: str) -> float:
+        """Whole-run SIMD utilisation (Fig. 11)."""
+        return self.results[policy_key].metrics.simd_utilization()
+
+    def rename_stall_fraction(self, policy_key: str, core: int) -> float:
+        """Fraction of cycles stalled waiting for free registers (Fig. 13)."""
+        return self.results[policy_key].metrics.stall_fraction(
+            core, StallReason.RENAME
+        )
+
+    def overhead(self, core: int) -> Dict[str, float]:
+        """Occamy's EM-SIMD runtime overhead split (Fig. 15)."""
+        return self.results["occamy"].metrics.overhead_fraction(core)
+
+
+def pair_outcome(
+    pair: CoRunPair,
+    scale: float = DEFAULT_SCALE,
+    config: Optional[MachineConfig] = None,
+    policies: Sequence[Policy] = ALL_POLICIES,
+) -> PairOutcome:
+    """Run (or fetch) one pair under every policy."""
+    config = config or experiment_config()
+    results = {
+        policy.key: _cached_pair_run(pair, policy, scale, config)
+        for policy in policies
+    }
+    return PairOutcome(pair=pair, results=results)
+
+
+def sweep_pairs(
+    pairs: Optional[Sequence[CoRunPair]] = None,
+    scale: float = DEFAULT_SCALE,
+    config: Optional[MachineConfig] = None,
+) -> List[PairOutcome]:
+    """The full Fig. 10/11/13/15 sweep (memoised)."""
+    return [pair_outcome(pair, scale, config) for pair in (pairs or all_pairs())]
+
+
+# --- Fig. 2: the motivating example ----------------------------------------
+
+
+@dataclass
+class MotivationResult:
+    """Fig. 2(b)-(f): four architectures co-running WL#0 + WL#1."""
+
+    results: Dict[str, RunResult]
+
+    def speedup(self, policy_key: str, core: int) -> float:
+        return self.results[policy_key].speedup_over(self.results["private"], core)
+
+    def utilization(self, policy_key: str) -> float:
+        return self.results[policy_key].metrics.simd_utilization()
+
+    def issue_rates(self, policy_key: str, core: int) -> List[float]:
+        metrics = self.results[policy_key].metrics
+        return [phase.issue_rate for phase in metrics.phases_of(core)]
+
+    def lane_series(self, policy_key: str, core: int) -> List[float]:
+        """Per-1000-cycle average busy lanes (the Fig. 2 plots)."""
+        series = self.results[policy_key].metrics.busy_lanes_series[core]
+        return [total / series.bucket_cycles for total in series.totals()]
+
+
+def motivation_fig2(
+    scale: float = 0.5, config: Optional[MachineConfig] = None
+) -> MotivationResult:
+    """Run the §2 motivating example on all four architectures."""
+    config = config or experiment_config()
+    wl0, wl1 = motivating_pair(scale)
+    options = CompileOptions(memory=config.memory)
+    p0, p1 = compile_kernel(wl0, options), compile_kernel(wl1, options)
+    results = {}
+    for policy in ALL_POLICIES:
+        jobs = [Job(p0, build_image(wl0, 0)), Job(p1, build_image(wl1, 1))]
+        results[policy.key] = run_policy(config, policy, jobs)
+    return MotivationResult(results=results)
+
+
+# --- Fig. 14: case study with fixed lane counts ------------------------------
+
+
+def run_with_fixed_lanes(
+    kernel: Kernel,
+    lanes: int,
+    config: Optional[MachineConfig] = None,
+    core_id: int = 0,
+) -> RunResult:
+    """Run ``kernel`` alone with a hard-wired lane allocation.
+
+    Used for Fig. 14(a)'s "normalised execution time vs #lanes" sweep.
+    """
+    config = config or experiment_config()
+    fixed = Policy(
+        key=f"fixed{lanes}",
+        label=f"Fixed({lanes})",
+        mode=SharingMode.SPATIAL,
+        _factory=lambda cfg, ois: StaticLaneManager(
+            {core: lanes for core in range(cfg.num_cores)}
+        ),
+    )
+    program = compile_kernel(kernel, CompileOptions(default_vl=lanes, memory=config.memory))
+    jobs: List[Optional[Job]] = [None] * config.num_cores
+    jobs[core_id] = Job(program, build_image(kernel, core_id))
+    return run_policy(config, fixed, jobs)
+
+
+@dataclass
+class CaseStudyResult:
+    """Fig. 14: WL20 + WL17 under varying lane counts and policies."""
+
+    #: lanes -> (phase durations of WL20, duration of WL17), solo runs.
+    lane_sweep: Dict[int, Tuple[List[int], int]]
+    #: policy -> co-run result.
+    corun: Dict[str, RunResult]
+
+    def normalized_times(self, phase_index: int) -> Dict[int, float]:
+        """Fig. 14(a): WL20 phase time vs lanes, normalised to the max."""
+        times = {
+            lanes: durations[phase_index]
+            for lanes, (durations, _comp) in self.lane_sweep.items()
+        }
+        peak = max(times.values())
+        return {lanes: t / peak for lanes, t in times.items()}
+
+    def normalized_compute_times(self) -> Dict[int, float]:
+        """Fig. 14(a): WL17 time vs lanes, normalised to the max."""
+        times = {lanes: comp for lanes, (_d, comp) in self.lane_sweep.items()}
+        peak = max(times.values())
+        return {lanes: t / peak for lanes, t in times.items()}
+
+    def lane_timeline(self, policy_key: str, core: int) -> List[Tuple[int, float]]:
+        """Fig. 14(b): the lanes-allocated step function for WL17."""
+        return list(self.corun[policy_key].metrics.lane_timeline[core].points)
+
+    def issue_rates(self, policy_key: str, core: int) -> List[float]:
+        metrics = self.corun[policy_key].metrics
+        return [phase.issue_rate for phase in metrics.phases_of(core)]
+
+
+def case_study_fig14(
+    scale: float = DEFAULT_SCALE,
+    config: Optional[MachineConfig] = None,
+    lane_choices: Sequence[int] = (4, 8, 12, 16, 20, 24, 28),
+) -> CaseStudyResult:
+    """The §7.4 Case 1 study: WL20 (sff2+sff5) + WL17 (wsm52)."""
+    config = config or experiment_config()
+    wl20 = spec_workload(20, scale=scale)
+    wl17 = spec_workload(17, scale=scale)
+    lane_sweep: Dict[int, Tuple[List[int], int]] = {}
+    for lanes in lane_choices:
+        mem_run = run_with_fixed_lanes(wl20, lanes, config)
+        comp_run = run_with_fixed_lanes(wl17, lanes, config)
+        durations = [p.duration for p in mem_run.metrics.phases_of(0)]
+        lane_sweep[lanes] = (durations, comp_run.core_time(0))
+    # In the co-run, WL17 must outlive WL20 (the paper's regime) so it
+    # inherits the full lane pool after WL20's phases end; compile the
+    # compute side with a larger repeat scale than the memory side.
+    corun = {}
+    for policy in ALL_POLICIES:
+        jobs = [
+            workload_job("spec", 20, core_id=0, scale=scale),
+            workload_job("spec", 17, core_id=1, scale=3 * scale),
+        ]
+        corun[policy.key] = run_policy(config, policy, jobs)
+    return CaseStudyResult(lane_sweep=lane_sweep, corun=corun)
+
+
+# --- Table 5: the roofline worked example ------------------------------------
+
+
+def table5_rows(
+    config: Optional[MachineConfig] = None,
+    lane_choices: Sequence[int] = (4, 8, 12, 16, 20, 24, 28, 32),
+) -> List[Dict[str, float]]:
+    """Attainable performance for WL8.p1 (rho_eos2) per Eq. 4."""
+    config = config or experiment_config()
+    roofline = RooflineModel.from_config(config)
+    oi = OIValue(issue=1.0 / 6.0, mem=0.25)
+    return roofline.table_rows(oi, lane_choices, frequency_ghz=config.frequency_ghz)
+
+
+# --- Fig. 15: runtime overhead ------------------------------------------------
+
+
+def overhead_fig15(
+    pairs: Optional[Sequence[CoRunPair]] = None,
+    scale: float = DEFAULT_SCALE,
+    config: Optional[MachineConfig] = None,
+) -> List[Tuple[CoRunPair, Dict[str, float]]]:
+    """Per-pair EM-SIMD overhead under Occamy (monitor vs reconfig)."""
+    outcomes = sweep_pairs(pairs, scale, config)
+    rows = []
+    for outcome in outcomes:
+        per_core = [outcome.overhead(core) for core in (0, 1)]
+        rows.append(
+            (
+                outcome.pair,
+                {
+                    "monitor": max(oc["monitor"] for oc in per_core),
+                    "reconfig": max(oc["reconfig"] for oc in per_core),
+                },
+            )
+        )
+    return rows
+
+
+# --- Fig. 16: four-core scalability --------------------------------------------
+
+
+def four_core_fig16(
+    scale: float = DEFAULT_SCALE,
+    config: Optional[MachineConfig] = None,
+    groups: Sequence[Sequence[int]] = FOUR_CORE_GROUPS,
+) -> List[Dict[str, RunResult]]:
+    """Run each Fig. 16 group on the 4-core configuration, all policies."""
+    config = config or experiment_config(num_cores=4)
+    results = []
+    for group in groups:
+        per_policy = {}
+        for policy in ALL_POLICIES:
+            jobs = jobs_for_group(group, scale=scale)
+            per_policy[policy.key] = run_policy(config, policy, jobs)
+        results.append(per_policy)
+    return results

@@ -1,0 +1,194 @@
+"""Dependency-free SVG renderings of the paper's plots.
+
+Three chart types cover the evaluation's figures:
+
+* :func:`lane_timeline_svg` — the lane-allocation step functions of
+  Fig. 2(e)/Fig. 8/Fig. 14(b);
+* :func:`series_svg` — per-bucket busy-lane curves (Fig. 2(b)-(e));
+* :func:`bar_chart_svg` — grouped per-pair bars (Fig. 10/11/13).
+
+Everything is plain SVG 1.1 text: no matplotlib, renders in any browser.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Qualitative palette (colour-blind safe-ish).
+PALETTE = ("#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377")
+
+_MARGIN = 46
+
+
+class SvgCanvas:
+    """A tiny SVG document builder."""
+
+    def __init__(self, width: int, height: int, title: str = "") -> None:
+        self.width = width
+        self.height = height
+        self._parts: List[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}" '
+            f'font-family="sans-serif" font-size="11">',
+            f'<rect width="{width}" height="{height}" fill="white"/>',
+        ]
+        if title:
+            self.text(width / 2, 16, title, anchor="middle", size=13)
+
+    def line(self, x1, y1, x2, y2, color="#333", width=1.0, dash="") -> None:
+        extra = f' stroke-dasharray="{dash}"' if dash else ""
+        self._parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{color}" stroke-width="{width}"{extra}/>'
+        )
+
+    def polyline(self, points: Sequence[Tuple[float, float]], color: str, width=1.6) -> None:
+        path = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self._parts.append(
+            f'<polyline points="{path}" fill="none" stroke="{color}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def rect(self, x, y, w, h, color: str, opacity=1.0) -> None:
+        self._parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{color}" opacity="{opacity}"/>'
+        )
+
+    def text(self, x, y, content, anchor="start", size=11, color="#222") -> None:
+        self._parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" text-anchor="{anchor}" '
+            f'font-size="{size}" fill="{color}">{html.escape(str(content))}</text>'
+        )
+
+    def render(self) -> str:
+        return "\n".join(self._parts + ["</svg>"])
+
+
+def _axes(canvas: SvgCanvas, x_label: str, y_label: str, y_max: float) -> None:
+    left, top = _MARGIN, 28
+    right, bottom = canvas.width - 12, canvas.height - _MARGIN
+    canvas.line(left, bottom, right, bottom)
+    canvas.line(left, top, left, bottom)
+    canvas.text((left + right) / 2, canvas.height - 10, x_label, anchor="middle")
+    canvas.text(14, top - 8, y_label)
+    for tick in range(5):
+        frac = tick / 4
+        y = bottom - frac * (bottom - top)
+        canvas.line(left - 3, y, left, y)
+        canvas.text(left - 6, y + 4, f"{y_max * frac:g}", anchor="end", size=9)
+
+
+def _scale(canvas: SvgCanvas):
+    left, top = _MARGIN, 28
+    right, bottom = canvas.width - 12, canvas.height - _MARGIN
+
+    def to_xy(fx: float, fy: float) -> Tuple[float, float]:
+        return left + fx * (right - left), bottom - fy * (bottom - top)
+
+    return to_xy
+
+
+def lane_timeline_svg(
+    timelines: Mapping[str, Sequence[Tuple[int, float]]],
+    total_cycles: int,
+    total_lanes: int = 32,
+    title: str = "Lane allocation over time",
+    width: int = 640,
+    height: int = 300,
+) -> str:
+    """Step plot of lanes-allocated per labelled timeline (Fig. 14(b))."""
+    canvas = SvgCanvas(width, height, title)
+    _axes(canvas, "cycles", "#lanes", total_lanes)
+    to_xy = _scale(canvas)
+    total = max(1, total_cycles)
+    for index, (label, points) in enumerate(timelines.items()):
+        color = PALETTE[index % len(PALETTE)]
+        path: List[Tuple[float, float]] = []
+        level = 0.0
+        for cycle, value in points:
+            fx = min(1.0, cycle / total)
+            path.append(to_xy(fx, level / total_lanes))
+            path.append(to_xy(fx, value / total_lanes))
+            level = value
+        path.append(to_xy(1.0, level / total_lanes))
+        if path:
+            canvas.polyline(path, color)
+        canvas.rect(width - 150, 30 + 16 * index, 10, 10, color)
+        canvas.text(width - 136, 39 + 16 * index, label, size=10)
+    return canvas.render()
+
+
+def series_svg(
+    series: Mapping[str, Sequence[float]],
+    bucket_cycles: int = 1000,
+    y_max: Optional[float] = None,
+    title: str = "Busy lanes per 1000-cycle bucket",
+    width: int = 640,
+    height: int = 300,
+) -> str:
+    """Line plot of bucketed per-cycle averages (Fig. 2(b)-(e))."""
+    canvas = SvgCanvas(width, height, title)
+    peak = y_max or max(
+        (max(values) for values in series.values() if values), default=1.0
+    ) or 1.0
+    _axes(canvas, f"time (x{bucket_cycles} cycles)", "lanes busy", peak)
+    to_xy = _scale(canvas)
+    longest = max((len(v) for v in series.values()), default=1)
+    for index, (label, values) in enumerate(series.items()):
+        color = PALETTE[index % len(PALETTE)]
+        points = [
+            to_xy(i / max(1, longest - 1), min(1.0, v / peak))
+            for i, v in enumerate(values)
+        ]
+        if points:
+            canvas.polyline(points, color)
+        canvas.rect(width - 150, 30 + 16 * index, 10, 10, color)
+        canvas.text(width - 136, 39 + 16 * index, label, size=10)
+    return canvas.render()
+
+
+def bar_chart_svg(
+    groups: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    y_label: str = "speedup",
+    baseline: Optional[float] = 1.0,
+    title: str = "",
+    width: int = 900,
+    height: int = 320,
+) -> str:
+    """Grouped bars: one cluster per group, one bar per series (Fig. 10)."""
+    canvas = SvgCanvas(width, height, title)
+    peak = max(
+        (max(values) for values in series.values() if values), default=1.0
+    ) * 1.1
+    _axes(canvas, "", y_label, peak)
+    to_xy = _scale(canvas)
+    n_groups = max(1, len(groups))
+    n_series = max(1, len(series))
+    cluster = 1.0 / n_groups
+    bar = cluster * 0.8 / n_series
+    for series_index, (label, values) in enumerate(series.items()):
+        color = PALETTE[series_index % len(PALETTE)]
+        for group_index, value in enumerate(values):
+            fx = group_index * cluster + cluster * 0.1 + series_index * bar
+            x0, y0 = to_xy(fx, 0.0)
+            x1, y1 = to_xy(fx, min(1.0, value / peak))
+            canvas.rect(x0, y1, max(1.0, bar * (width - _MARGIN - 12)), y0 - y1, color)
+        canvas.rect(width - 150, 30 + 16 * series_index, 10, 10, color)
+        canvas.text(width - 136, 39 + 16 * series_index, label, size=10)
+    if baseline is not None and peak > 0:
+        _x0, y = to_xy(0, baseline / peak)
+        canvas.line(_MARGIN, y, width - 12, y, color="#999", dash="4,3")
+    for group_index, group in enumerate(groups):
+        fx = (group_index + 0.5) * cluster
+        x, _y = to_xy(fx, 0)
+        canvas.text(x, height - _MARGIN + 14, group, anchor="middle", size=8)
+    return canvas.render()
+
+
+def write_svg(svg: str, path: str) -> None:
+    """Write an SVG document to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(svg)

@@ -1,0 +1,58 @@
+"""ASCII rendering of the paper's tables and series plots."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's averaging throughout §7)."""
+    items = [v for v in values if v > 0]
+    if not items:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in items) / len(items))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    label: str, values: Sequence[float], width: int = 60, unit: str = ""
+) -> str:
+    """A one-line sparkline-ish rendering of a numeric series."""
+    if not values:
+        return f"{label}: (empty)"
+    peak = max(values) or 1.0
+    glyphs = " .:-=+*#%@"
+    bar = "".join(
+        glyphs[min(len(glyphs) - 1, int(v / peak * (len(glyphs) - 1)))]
+        for v in _resample(values, width)
+    )
+    return f"{label:>18} |{bar}| peak={peak:.3g}{unit}"
+
+
+def _resample(values: Sequence[float], width: int) -> List[float]:
+    if len(values) <= width:
+        return list(values)
+    out = []
+    for i in range(width):
+        lo = i * len(values) // width
+        hi = max(lo + 1, (i + 1) * len(values) // width)
+        out.append(sum(values[lo:hi]) / (hi - lo))
+    return out
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}" if abs(value) < 1000 else f"{value:.0f}"
+    return str(value)

@@ -1,0 +1,120 @@
+"""Model validation: does the LaneMgr's roofline track the simulator?
+
+The lane manager allocates lanes using the analytical Eq. 4 model; the
+simulator executes with explicit queues, caches and bandwidth.  For the
+plans to be good, the model's *ordering* must track the machine: more
+predicted attainable performance should mean more achieved throughput,
+and the predicted saturation knee should match where measured speedup
+flattens.  ``validate_phase`` quantifies both for one phase.
+
+Achieved performance is measured in the roofline's own units (the paper's
+per-32-bit-lane flop accounting): compute-uops x lanes per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.experiments import run_with_fixed_lanes
+from repro.common.config import MachineConfig, experiment_config
+from repro.compiler.ir import Kernel
+from repro.compiler.phase_analysis import analyze_kernel
+from repro.core.roofline import RooflineModel
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """Model-vs-machine at one lane count."""
+
+    lanes: int
+    predicted: float  # Eq. 4 attainable (flops/cycle, paper units)
+    achieved: float  # measured busy pipe slots per phase cycle
+    phase_cycles: int
+
+
+@dataclass(frozen=True)
+class PhaseValidation:
+    """A full lane sweep for one phase."""
+
+    kernel_name: str
+    phase_index: int
+    oi_issue: float
+    oi_mem: float
+    level: str
+    points: List[ValidationPoint]
+
+    @property
+    def predicted_knee(self) -> int:
+        """First lane count after which the prediction stops growing."""
+        best = self.points[-1].predicted
+        for point in self.points:
+            if point.predicted >= best * 0.999:
+                return point.lanes
+        return self.points[-1].lanes  # pragma: no cover
+
+    @property
+    def measured_knee(self) -> int:
+        """First lane count achieving >= 90% of the best throughput."""
+        best = max(point.achieved for point in self.points)
+        for point in self.points:
+            if point.achieved >= 0.9 * best:
+                return point.lanes
+        return self.points[-1].lanes  # pragma: no cover
+
+    @property
+    def ordering_agreement(self) -> float:
+        """Fraction of lane-count pairs the model orders like the machine.
+
+        1.0 = the model's ranking matches the machine exactly; ties in
+        either ranking count as agreement when the other side is close.
+        """
+        agree = 0
+        total = 0
+        for i, a in enumerate(self.points):
+            for b in self.points[i + 1 :]:
+                total += 1
+                predicted = a.predicted - b.predicted
+                achieved = a.achieved - b.achieved
+                if predicted == 0 or achieved == 0:
+                    agree += 1
+                elif (predicted > 0) == (achieved > 0):
+                    agree += 1
+        return agree / total if total else 1.0
+
+
+def validate_phase(
+    kernel: Kernel,
+    phase_index: int = 0,
+    lane_choices: Sequence[int] = (2, 4, 8, 16, 24, 32),
+    config: Optional[MachineConfig] = None,
+) -> PhaseValidation:
+    """Sweep ``kernel``'s phase over fixed lane counts and compare."""
+    config = config or experiment_config()
+    info = analyze_kernel(kernel)[phase_index]
+    level = info.residency_level(config.memory)
+    oi = info.oi_for_level(level)
+    roofline = RooflineModel.from_config(config)
+
+    points = []
+    for lanes in lane_choices:
+        result = run_with_fixed_lanes(kernel, lanes, config)
+        phase = result.metrics.phases_of(0)[phase_index]
+        cycles = max(1, phase.duration)
+        achieved = phase.compute_uops * lanes / cycles
+        points.append(
+            ValidationPoint(
+                lanes=lanes,
+                predicted=roofline.attainable(lanes, oi),
+                achieved=achieved,
+                phase_cycles=cycles,
+            )
+        )
+    return PhaseValidation(
+        kernel_name=kernel.name,
+        phase_index=phase_index,
+        oi_issue=oi.issue,
+        oi_mem=oi.mem,
+        level=level,
+        points=points,
+    )

@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``motivate``
+    Run the §2 motivating example on all four architectures.
+``pair SUITE MEM COMP``
+    Co-run one Table 3 pair (e.g. ``pair spec 20 17``).
+``roofline OI_ISSUE OI_MEM``
+    Print the Eq. 4 ceilings and greedy partitions for an intensity.
+``table5``
+    Reproduce Table 5 exactly.
+``area``
+    Print the Fig. 12 area breakdown.
+``trace SUITE MEM COMP OUT.json``
+    Run a pair under Occamy and export a JSON trace + ASCII Gantt.
+``figures OUTPUT_DIR``
+    Render the motivating example's figures as SVG files.
+``report OUT.md``
+    Run a slice of the evaluation and write a Markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.area import area_model
+from repro.analysis.experiments import motivation_fig2, pair_outcome, table5_rows
+from repro.analysis.reporting import format_table
+from repro.analysis.trace import export_trace, phase_gantt
+from repro.common.config import experiment_config, table4_config
+from repro.core.partition import greedy_partition
+from repro.core.roofline import RooflineModel
+from repro.isa.registers import OIValue
+from repro.workloads.pairs import CoRunPair
+
+POLICY_KEYS = ("private", "fts", "vls", "occamy")
+
+
+def _cmd_motivate(args: argparse.Namespace) -> int:
+    result = motivation_fig2(scale=args.scale)
+    rows = []
+    for key in POLICY_KEYS:
+        run = result.results[key]
+        rows.append(
+            [
+                key,
+                run.core_time(0),
+                run.core_time(1),
+                f"{result.speedup(key, 0):.2f}x",
+                f"{result.speedup(key, 1):.2f}x",
+                f"{100 * result.utilization(key):.1f}%",
+            ]
+        )
+    print(format_table(["arch", "WL#0", "WL#1", "sp0", "sp1", "util"], rows))
+    print("\nOccamy lane plans:")
+    for cycle, plan in result.results["occamy"].lane_manager.plan_history:
+        print(f"  {cycle:>8}: {plan}")
+    return 0
+
+
+def _cmd_pair(args: argparse.Namespace) -> int:
+    pair = CoRunPair(args.suite, args.mem, args.comp)
+    outcome = pair_outcome(pair, scale=args.scale)
+    rows = []
+    for key in POLICY_KEYS:
+        rows.append(
+            [
+                key,
+                f"{outcome.speedup(key, 0):.2f}x",
+                f"{outcome.speedup(key, 1):.2f}x",
+                f"{100 * outcome.utilization(key):.1f}%",
+                f"{100 * outcome.rename_stall_fraction(key, 1):.0f}%",
+            ]
+        )
+    print(f"pair {pair}:")
+    print(format_table(["arch", "sp0", "sp1", "util", "rename(c1)"], rows))
+    return 0
+
+
+def _cmd_roofline(args: argparse.Namespace) -> int:
+    config = table4_config()
+    roofline = RooflineModel.from_config(config)
+    oi = OIValue(issue=args.oi_issue, mem=args.oi_mem, level=args.level)
+    rows = [
+        [
+            lanes,
+            f"{roofline.fp_peak(lanes) * 2:.1f}",
+            f"{roofline.issue_bound(lanes, oi) * 2:.1f}",
+            f"{roofline.mem_bound(oi) * 2:.1f}",
+            f"{roofline.attainable_gflops(lanes, oi):.1f}",
+        ]
+        for lanes in (1, 2, 4, 8, 12, 16, 20, 24, 28, 32)
+    ]
+    print(format_table(["lanes", "comp", "issue", "mem", "attainable"], rows))
+    print(f"saturation: {roofline.saturation_lanes(oi)} lanes")
+    other = OIValue(0.6, 1.0, level="vec_cache")
+    plan = greedy_partition({0: oi, 1: other}, 32, roofline)
+    print(f"vs a wsm5-style co-runner the greedy plan is {plan}")
+    return 0
+
+
+def _cmd_table5(args: argparse.Namespace) -> int:
+    rows = [
+        [
+            int(row["vl"]),
+            f"{row['simd_issue_bound']:.1f}",
+            f"{row['mem_bound']:.1f}",
+            f"{row['comp_bound']:.1f}",
+            f"{row['performance']:.1f}",
+        ]
+        for row in table5_rows(table4_config())
+    ]
+    print(format_table(["VL", "IssueBound", "MemBound", "CompBound", "Perf"], rows))
+    return 0
+
+
+def _cmd_area(args: argparse.Namespace) -> int:
+    config = table4_config(num_cores=args.cores)
+    rows = []
+    for key in POLICY_KEYS:
+        breakdown = area_model(config, key)
+        rows.append([key, f"{breakdown.total:.3f}"])
+    print(format_table(["arch", f"area mm^2 ({args.cores}-core)"], rows))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    pair = CoRunPair(args.suite, args.mem, args.comp)
+    outcome = pair_outcome(pair, scale=args.scale)
+    result = outcome.results["occamy"]
+    export_trace(result, args.output)
+    print(phase_gantt(result))
+    print(f"\ntrace written to {args.output}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.analysis.plots import lane_timeline_svg, series_svg, write_svg
+
+    os.makedirs(args.output_dir, exist_ok=True)
+    result = motivation_fig2(scale=args.scale)
+    occamy = result.results["occamy"]
+    write_svg(
+        lane_timeline_svg(
+            {
+                "core0 (WL#0)": occamy.metrics.lane_timeline[0].points,
+                "core1 (WL#1)": occamy.metrics.lane_timeline[1].points,
+            },
+            total_cycles=occamy.total_cycles,
+            title="Occamy elastic lane schedule (Fig. 8)",
+        ),
+        os.path.join(args.output_dir, "fig8_lane_plan.svg"),
+    )
+    for key in ("private", "occamy"):
+        write_svg(
+            series_svg(
+                {
+                    "core0": result.lane_series(key, 0),
+                    "core1": result.lane_series(key, 1),
+                },
+                title=f"Busy lanes — {key}",
+            ),
+            os.path.join(args.output_dir, f"fig2_busy_lanes_{key}.svg"),
+        )
+    print(f"figures written to {args.output_dir}/")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import write_report
+
+    write_report(args.output, scale=args.scale, pairs_limit=args.pairs)
+    print(f"report written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Occamy (ASPLOS 2023) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    motivate = sub.add_parser("motivate", help="run the §2 motivating example")
+    motivate.add_argument("--scale", type=float, default=0.5)
+    motivate.set_defaults(func=_cmd_motivate)
+
+    pair = sub.add_parser("pair", help="co-run one Table 3 pair")
+    pair.add_argument("suite", choices=("spec", "opencv"))
+    pair.add_argument("mem", type=int)
+    pair.add_argument("comp", type=int)
+    pair.add_argument("--scale", type=float, default=0.5)
+    pair.set_defaults(func=_cmd_pair)
+
+    roofline = sub.add_parser("roofline", help="explore the Eq. 4 roofline")
+    roofline.add_argument("oi_issue", type=float)
+    roofline.add_argument("oi_mem", type=float)
+    roofline.add_argument(
+        "--level", choices=("dram", "l2", "vec_cache"), default="dram"
+    )
+    roofline.set_defaults(func=_cmd_roofline)
+
+    table5 = sub.add_parser("table5", help="reproduce Table 5")
+    table5.set_defaults(func=_cmd_table5)
+
+    area = sub.add_parser("area", help="Fig. 12 area model")
+    area.add_argument("--cores", type=int, default=2)
+    area.set_defaults(func=_cmd_area)
+
+    trace = sub.add_parser("trace", help="export a JSON trace of a pair run")
+    trace.add_argument("suite", choices=("spec", "opencv"))
+    trace.add_argument("mem", type=int)
+    trace.add_argument("comp", type=int)
+    trace.add_argument("output")
+    trace.add_argument("--scale", type=float, default=0.3)
+    trace.set_defaults(func=_cmd_trace)
+
+    figures = sub.add_parser("figures", help="render SVG figures")
+    figures.add_argument("output_dir")
+    figures.add_argument("--scale", type=float, default=0.4)
+    figures.set_defaults(func=_cmd_figures)
+
+    report = sub.add_parser("report", help="write a Markdown reproduction report")
+    report.add_argument("output")
+    report.add_argument("--scale", type=float, default=0.4)
+    report.add_argument("--pairs", type=int, default=6)
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Shared infrastructure: errors, machine configuration, timelines.
+
+Everything in this package is policy-free plumbing used by the ISA,
+memory, co-processor and compiler layers.
+"""
+
+from repro.common.config import (
+    CacheConfig,
+    experiment_config,
+    table4_config,
+    CoreConfig,
+    MachineConfig,
+    MemoryConfig,
+    VectorConfig,
+)
+from repro.common.errors import (
+    AssemblyError,
+    CompilationError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    VectorizationError,
+)
+from repro.common.timeline import BucketSeries, Timeline
+
+__all__ = [
+    "AssemblyError",
+    "BucketSeries",
+    "CacheConfig",
+    "CompilationError",
+    "ConfigurationError",
+    "CoreConfig",
+    "MachineConfig",
+    "MemoryConfig",
+    "ReproError",
+    "SimulationError",
+    "Timeline",
+    "VectorConfig",
+    "experiment_config",
+    "table4_config",
+    "VectorizationError",
+]

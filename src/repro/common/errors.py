@@ -1,0 +1,38 @@
+"""Exception hierarchy for the Occamy reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base type.  Sub-classes are split by layer (configuration, assembly,
+compilation, simulation) so tests can assert the failing layer precisely.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid machine or policy configuration was supplied."""
+
+
+class AssemblyError(ReproError):
+    """A program could not be assembled (bad operand, unknown label...)."""
+
+
+class CompilationError(ReproError):
+    """The kernel compiler rejected a kernel."""
+
+
+class VectorizationError(CompilationError):
+    """A loop could not be vectorized (unsupported construct)."""
+
+
+class SimulationError(ReproError):
+    """The machine reached an inconsistent state at simulation time."""
+
+
+class DeadlockError(SimulationError):
+    """No core made forward progress for an implausibly long window."""
+
+
+class ProtocolError(SimulationError):
+    """An EM-SIMD protocol rule was violated (e.g. freeing unowned lanes)."""

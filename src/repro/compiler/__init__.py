@@ -1,0 +1,47 @@
+"""The Occamy compiler (paper §6).
+
+Takes loop-nest kernels expressed in a small IR, analyses their phase
+behaviour (operational intensity, Eq. 5), vectorizes each loop with CSE and
+SVE-style tail predication, and instruments the code with the eager-lazy
+lane-partitioning pattern of Fig. 9 (phase prologue/epilogue, partition
+monitor, vector-length reconfiguration with reduction splicing).
+"""
+
+from repro.compiler.ir import (
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Kernel,
+    Load,
+    Loop,
+    Param,
+    Reduce,
+    Store,
+)
+from repro.compiler.phase_analysis import PhaseInfo, analyze_loop, analyze_kernel
+from repro.compiler.pipeline import CompileOptions, build_image, compile_kernel
+from repro.compiler.reference import reference_execute
+from repro.compiler.vectorizer import VectorizedLoop, vectorize_loop
+
+__all__ = [
+    "Assign",
+    "BinOp",
+    "Call",
+    "CompileOptions",
+    "Const",
+    "Kernel",
+    "Load",
+    "Loop",
+    "Param",
+    "PhaseInfo",
+    "Reduce",
+    "Store",
+    "VectorizedLoop",
+    "analyze_kernel",
+    "analyze_loop",
+    "build_image",
+    "compile_kernel",
+    "reference_execute",
+    "vectorize_loop",
+]

@@ -1,0 +1,141 @@
+"""Hash-consed expression DAG for one loop body.
+
+Common subexpressions across all statements of a loop body collapse to a
+single node (classic CSE), so instruction counts — and therefore the
+operational intensity of Eq. 5 — reflect the code actually generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import VectorizationError
+from repro.compiler.ir import Assign, BinOp, Call, Const, Expr, Load, Loop, Param, Reduce
+
+
+@dataclass(frozen=True)
+class DagNode:
+    """One value in the loop DAG."""
+
+    node_id: int
+    kind: str  # "load" | "param" | "const" | "compute"
+    op: Optional[str] = None  # for compute nodes
+    operands: Tuple[int, ...] = ()
+    array: Optional[str] = None  # for loads
+    shift: int = 0
+    stride: int = 1
+    offset: int = 0
+    param: Optional[str] = None
+    value: float = 0.0
+
+
+@dataclass
+class LoopDag:
+    """The DAG plus the statement outputs it feeds."""
+
+    nodes: List[DagNode] = field(default_factory=list)
+    #: ``array name -> node id`` for each Assign, in statement order.
+    stores: List[Tuple[str, int]] = field(default_factory=list)
+    #: ``(op, name, node id)`` for each Reduce, in statement order.
+    reductions: List[Tuple[str, str, int]] = field(default_factory=list)
+
+    def node(self, node_id: int) -> DagNode:
+        return self.nodes[node_id]
+
+    def loads(self) -> List[DagNode]:
+        return [n for n in self.nodes if n.kind == "load"]
+
+    def computes(self) -> List[DagNode]:
+        return [n for n in self.nodes if n.kind == "compute"]
+
+    def params(self) -> List[DagNode]:
+        return [n for n in self.nodes if n.kind == "param"]
+
+    @property
+    def num_loads(self) -> int:
+        return len(self.loads())
+
+    @property
+    def num_computes(self) -> int:
+        return len(self.computes())
+
+    @property
+    def num_stores(self) -> int:
+        return len(self.stores)
+
+
+def build_dag(loop: Loop) -> LoopDag:
+    """Build the hash-consed DAG for ``loop``'s body.
+
+    Rejects loops with a loop-carried dependence a vectorizer cannot
+    handle: an array that is written and also read at a nonzero shift.
+    """
+    written = loop.arrays_written()
+    dag = LoopDag()
+    memo: Dict[object, int] = {}
+
+    def intern(key: object, make) -> int:
+        if key in memo:
+            return memo[key]
+        node = make(len(dag.nodes))
+        dag.nodes.append(node)
+        memo[key] = node.node_id
+        return node.node_id
+
+    def visit(expr: Expr) -> int:
+        if isinstance(expr, Load):
+            if expr.array in written and (expr.shift != 0 or expr.stride != 1):
+                raise VectorizationError(
+                    f"loop {loop.name!r}: loop-carried dependence on "
+                    f"{expr.array!r} (written and read at shift "
+                    f"{expr.shift}/stride {expr.stride})"
+                )
+            return intern(
+                ("load", expr.array, expr.shift, expr.stride, expr.offset),
+                lambda i: DagNode(
+                    i, "load", array=expr.array, shift=expr.shift,
+                    stride=expr.stride, offset=expr.offset,
+                ),
+            )
+        if isinstance(expr, Param):
+            return intern(
+                ("param", expr.name),
+                lambda i: DagNode(i, "param", param=expr.name),
+            )
+        if isinstance(expr, Const):
+            return intern(
+                ("const", expr.value),
+                lambda i: DagNode(i, "const", value=expr.value),
+            )
+        if isinstance(expr, BinOp):
+            lhs = visit(expr.lhs)
+            rhs = visit(expr.rhs)
+            return intern(
+                ("bin", expr.op, lhs, rhs),
+                lambda i: DagNode(i, "compute", op=expr.op, operands=(lhs, rhs)),
+            )
+        if isinstance(expr, Call):
+            arg = visit(expr.arg)
+            return intern(
+                ("call", expr.op, arg),
+                lambda i: DagNode(i, "compute", op=expr.op, operands=(arg,)),
+            )
+        raise VectorizationError(f"unsupported expression {expr!r}")
+
+    for statement in loop.body:
+        root = visit(statement.expr)
+        if isinstance(statement, Assign):
+            if dag.nodes[root].kind == "const":
+                # A bare constant store needs materialising into a vector
+                # register; wrap it in a synthetic splat.
+                root = intern(
+                    ("call", "mov", root),
+                    lambda i, src=root: DagNode(i, "compute", op="mov", operands=(src,)),
+                )
+            dag.stores.append((statement.array, root))
+        elif isinstance(statement, Reduce):
+            dag.reductions.append((statement.op, statement.name, root))
+        else:  # pragma: no cover - exhaustive over Statement
+            raise VectorizationError(f"unsupported statement {statement!r}")
+    return dag

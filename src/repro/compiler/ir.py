@@ -1,0 +1,243 @@
+"""Loop-nest kernel IR.
+
+A :class:`Kernel` is a sequence of :class:`Loop`s over float32 arrays; each
+loop is one *phase* in the paper's sense (§6: "a loop typically being
+regarded as a phase").  Loop bodies are element-wise statements over
+expressions:
+
+* ``Load(array, shift)`` — ``array[i + shift]`` (shifts express stencils,
+  i.e. data reuse across iterations);
+* ``Param(name)`` — a loop-invariant scalar parameter (broadcast);
+* ``Const(v)`` — a literal;
+* ``BinOp``/``Call`` — arithmetic;
+* ``Assign(array, expr)`` — ``array[i] = expr``;
+* ``Reduce(op, name, expr)`` — ``name ⊕= expr`` (a loop-carried reduction,
+  materialised into the one-element output array ``name`` at phase end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple, Union
+
+from repro.common.errors import CompilationError
+
+#: Binary operators available in kernel expressions.
+BIN_OPS = frozenset({"add", "sub", "mul", "div", "min", "max"})
+
+#: Unary calls available in kernel expressions.
+CALL_OPS = frozenset({"sqrt", "abs", "neg"})
+
+
+@dataclass(frozen=True)
+class Load:
+    """``array[(i + shift) * stride + offset]``.
+
+    ``stride = 1`` is the common unit-stride case.  ``stride > 1`` with an
+    ``offset`` expresses interleaved layouts (e.g. channel ``offset`` of an
+    RGB image has ``stride = 3``); strided accesses touch ``stride`` times
+    the cache lines of a unit-stride access, which the memory system
+    charges for.
+    """
+
+    array: str
+    shift: int = 0
+    stride: int = 1
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.stride < 1:
+            raise CompilationError("stride must be >= 1")
+        if self.offset < 0 or self.offset >= self.stride:
+            raise CompilationError("offset must lie within one stride")
+
+
+@dataclass(frozen=True)
+class Param:
+    """A loop-invariant scalar kernel parameter."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Const:
+    """A literal float."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in BIN_OPS:
+            raise CompilationError(f"unknown binary op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Call:
+    op: str
+    arg: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in CALL_OPS:
+            raise CompilationError(f"unknown call {self.op!r}")
+
+
+Expr = Union[Load, Param, Const, BinOp, Call]
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``array[i] = expr``."""
+
+    array: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Reduce:
+    """``name ⊕= expr`` across iterations (op in add/min/max)."""
+
+    op: str
+    name: str
+    expr: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("add", "min", "max"):
+            raise CompilationError(f"unsupported reduction op {self.op!r}")
+
+
+Statement = Union[Assign, Reduce]
+
+#: Alias used by Store in the public API (an Assign *is* a store).
+Store = Assign
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One vectorizable loop — one phase.
+
+    ``trip_count`` is the number of element iterations of one pass;
+    ``repeats`` repeats the whole pass (the phase prologue/epilogue are
+    hoisted outside the repeat loop, the paper's §6.3 code-hoisting
+    optimisation).
+    """
+
+    name: str
+    trip_count: int
+    body: Tuple[Statement, ...]
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if self.trip_count < 1:
+            raise CompilationError(f"loop {self.name!r}: empty trip count")
+        if self.repeats < 1:
+            raise CompilationError(f"loop {self.name!r}: repeats must be >= 1")
+        if not self.body:
+            raise CompilationError(f"loop {self.name!r}: empty body")
+
+    def max_negative_shift(self) -> int:
+        """Largest backward stencil shift (defines the start padding)."""
+        return max((-s for s in self._shifts() if s < 0), default=0)
+
+    def max_positive_shift(self) -> int:
+        """Largest forward stencil shift (defines the end padding)."""
+        return max((s for s in self._shifts() if s > 0), default=0)
+
+    def _shifts(self) -> List[int]:
+        shifts: List[int] = []
+        for statement in self.body:
+            _collect_shifts(statement.expr, shifts)
+        return shifts
+
+    def max_stride(self) -> int:
+        """Largest load stride in the body (1 when all unit-stride)."""
+        strides = [1]
+        for statement in self.body:
+            _collect_strides(statement.expr, strides)
+        return max(strides)
+
+    def arrays_read(self) -> Set[str]:
+        reads: Set[str] = set()
+        for statement in self.body:
+            _collect_reads(statement.expr, reads)
+        return reads
+
+    def arrays_written(self) -> Set[str]:
+        return {s.array for s in self.body if isinstance(s, Assign)}
+
+    def reductions(self) -> List[Reduce]:
+        return [s for s in self.body if isinstance(s, Reduce)]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A workload: named arrays, parameters and a sequence of phases."""
+
+    name: str
+    array_length: int
+    loops: Tuple[Loop, ...]
+    params: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.array_length < 1:
+            raise CompilationError("array_length must be positive")
+        if not self.loops:
+            raise CompilationError(f"kernel {self.name!r} has no loops")
+        for loop in self.loops:
+            pad = loop.max_negative_shift() + loop.max_positive_shift()
+            required = (loop.trip_count + pad) * loop.max_stride()
+            if required > self.array_length:
+                raise CompilationError(
+                    f"kernel {self.name!r}, loop {loop.name!r}: needs "
+                    f"{required} elements (trip count, stencil padding and "
+                    f"stride) but arrays have {self.array_length}"
+                )
+
+    def arrays(self) -> Set[str]:
+        """Every array any loop touches."""
+        names: Set[str] = set()
+        for loop in self.loops:
+            names |= loop.arrays_read() | loop.arrays_written()
+        return names
+
+    def reduction_outputs(self) -> Set[str]:
+        """Names of reduction results (one-element output arrays)."""
+        names: Set[str] = set()
+        for loop in self.loops:
+            names |= {r.name for r in loop.reductions()}
+        return names
+
+
+def _collect_shifts(expr: Expr, out: List[int]) -> None:
+    if isinstance(expr, Load):
+        out.append(expr.shift)
+    elif isinstance(expr, BinOp):
+        _collect_shifts(expr.lhs, out)
+        _collect_shifts(expr.rhs, out)
+    elif isinstance(expr, Call):
+        _collect_shifts(expr.arg, out)
+
+
+def _collect_strides(expr: Expr, out: List[int]) -> None:
+    if isinstance(expr, Load):
+        out.append(expr.stride)
+    elif isinstance(expr, BinOp):
+        _collect_strides(expr.lhs, out)
+        _collect_strides(expr.rhs, out)
+    elif isinstance(expr, Call):
+        _collect_strides(expr.arg, out)
+
+
+def _collect_reads(expr: Expr, out: Set[str]) -> None:
+    if isinstance(expr, Load):
+        out.add(expr.array)
+    elif isinstance(expr, BinOp):
+        _collect_reads(expr.lhs, out)
+        _collect_reads(expr.rhs, out)
+    elif isinstance(expr, Call):
+        _collect_reads(expr.arg, out)

@@ -1,0 +1,116 @@
+"""Phase behaviour analysis (paper §6.3, Eq. 5).
+
+For a vectorized loop (one phase) the compiler derives the operational
+intensity *pair* written into ``<OI>`` at the phase prologue:
+
+* ``<OI>.issue = comp / sum_i byte_type_i`` — compute instructions per byte
+  of SIMD ld/st *issue* traffic (every load/store instruction counts);
+* ``<OI>.mem = comp / fp`` — compute instructions per byte of per-iteration
+  memory *footprint* with data reuse considered: stencil reads of the same
+  array at several shifts touch only one new element per iteration.
+
+Counts are taken from the post-CSE DAG, i.e. from the instructions the
+vectorizer actually emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.common.config import MemoryConfig
+from repro.compiler.dag import LoopDag, build_dag
+from repro.compiler.ir import Kernel, Loop
+from repro.isa.registers import OIValue
+
+#: Bytes per element for the only supported data type (float32).
+ELEM_BYTES = 4
+
+
+@dataclass(frozen=True)
+class PhaseInfo:
+    """Static behaviour of one phase (loop)."""
+
+    loop_name: str
+    comp_insts: int  # SIMD compute instructions per iteration (post CSE)
+    load_insts: int  # SIMD load instructions per iteration
+    store_insts: int  # SIMD store instructions per iteration
+    footprint_arrays: int  # distinct arrays touched (reuse considered)
+    trip_count: int
+    repeats: int
+
+    @property
+    def mem_insts(self) -> int:
+        return self.load_insts + self.store_insts
+
+    @property
+    def issue_bytes(self) -> int:
+        """Per-element bytes moved by ld/st *instructions* (Eq. 5 denom)."""
+        return ELEM_BYTES * self.mem_insts
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Per-element memory footprint with data reuse considered."""
+        return ELEM_BYTES * self.footprint_arrays
+
+    @property
+    def total_footprint_bytes(self) -> int:
+        """Whole-phase working set (footprint arrays x trip count)."""
+        return self.footprint_arrays * self.trip_count * ELEM_BYTES
+
+    @property
+    def oi(self) -> OIValue:
+        """The ``<OI>`` pair written at the phase prologue (DRAM level)."""
+        return self.oi_for_level("dram")
+
+    def oi_for_level(self, level: str) -> OIValue:
+        """The ``<OI>`` pair with an explicit residency-level hint.
+
+        A compute-free loop (pure copy) is clamped to a tiny positive
+        intensity: ``<OI> = 0`` is the architectural phase-*end* sentinel
+        (Table 1) and must never describe a running phase.
+        """
+        comp = max(self.comp_insts, 0)
+        issue = comp / self.issue_bytes if self.issue_bytes else 0.0
+        mem = comp / self.footprint_bytes if self.footprint_bytes else 0.0
+        if issue <= 0.0 and mem <= 0.0:
+            issue = mem = 0.01
+        return OIValue(issue=issue, mem=mem, level=level)
+
+    def residency_level(self, memory: "MemoryConfig") -> str:
+        """Which cache level the phase's working set fits in."""
+        footprint = self.total_footprint_bytes
+        if footprint <= memory.vec_cache.size_bytes:
+            return "vec_cache"
+        if footprint <= memory.l2.size_bytes:
+            return "l2"
+        return "dram"
+
+    @property
+    def has_data_reuse(self) -> bool:
+        """True when stencil reuse makes issue traffic exceed footprint."""
+        return self.mem_insts > self.footprint_arrays
+
+
+def analyze_loop(loop: Loop, dag: LoopDag = None) -> PhaseInfo:
+    """Compute the :class:`PhaseInfo` of one loop."""
+    if dag is None:
+        dag = build_dag(loop)
+    touched: Set[str] = {node.array for node in dag.loads()}
+    touched |= {array for array, _ in dag.stores}
+    # Each Reduce emits one fold instruction per iteration in addition to
+    # the DAG's compute nodes.
+    return PhaseInfo(
+        loop_name=loop.name,
+        comp_insts=dag.num_computes + len(dag.reductions),
+        load_insts=dag.num_loads,
+        store_insts=dag.num_stores,
+        footprint_arrays=len(touched),
+        trip_count=loop.trip_count,
+        repeats=loop.repeats,
+    )
+
+
+def analyze_kernel(kernel: Kernel) -> List[PhaseInfo]:
+    """Per-phase behaviour for every loop of ``kernel``, in order."""
+    return [analyze_loop(loop) for loop in kernel.loops]

@@ -1,0 +1,104 @@
+"""Reference (oracle) execution of kernels in pure numpy.
+
+``reference_execute`` applies each loop's semantics slice-wise over the
+functional memory, mirroring the vectorizer's evaluation order (all reads
+snapshot pre-iteration state; writes apply in statement order).  Tests
+compare the oracle against what any machine/policy simulation produced —
+the paper's correctness guarantee (§6.4) says the answers must match under
+*every* re-partitioning schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.compiler.ir import Assign, BinOp, Call, Const, Expr, Kernel, Load, Param, Reduce
+from repro.memory.image import MemoryImage
+
+
+def _eval(expr: Expr, arrays: Dict[str, np.ndarray], params: Dict[str, float],
+          start: int, stop: int) -> np.ndarray:
+    if isinstance(expr, Load):
+        if expr.stride == 1 and expr.offset == 0:
+            return arrays[expr.array][start + expr.shift : stop + expr.shift]
+        first = (start + expr.shift) * expr.stride + expr.offset
+        last = first + (stop - start - 1) * expr.stride + 1
+        return arrays[expr.array][first:last:expr.stride]
+    if isinstance(expr, Param):
+        return np.float32(params[expr.name])
+    if isinstance(expr, Const):
+        return np.float32(expr.value)
+    if isinstance(expr, BinOp):
+        lhs = _eval(expr.lhs, arrays, params, start, stop)
+        rhs = _eval(expr.rhs, arrays, params, start, stop)
+        if expr.op == "add":
+            return lhs + rhs
+        if expr.op == "sub":
+            return lhs - rhs
+        if expr.op == "mul":
+            return lhs * rhs
+        if expr.op == "div":
+            with np.errstate(divide="ignore", invalid="ignore"):
+                out = np.divide(lhs, rhs)
+            return np.nan_to_num(out, nan=0.0, posinf=0.0, neginf=0.0)
+        if expr.op == "min":
+            return np.minimum(lhs, rhs)
+        if expr.op == "max":
+            return np.maximum(lhs, rhs)
+        raise SimulationError(f"unknown binop {expr.op}")  # pragma: no cover
+    if isinstance(expr, Call):
+        arg = _eval(expr.arg, arrays, params, start, stop)
+        if expr.op == "sqrt":
+            return np.sqrt(np.abs(arg))
+        if expr.op == "abs":
+            return np.abs(arg)
+        if expr.op == "neg":
+            return -arg
+        raise SimulationError(f"unknown call {expr.op}")  # pragma: no cover
+    raise SimulationError(f"bad expression {expr!r}")  # pragma: no cover
+
+
+def reference_execute(kernel: Kernel, image: MemoryImage) -> MemoryImage:
+    """Run ``kernel`` functionally over a *copy* of ``image``."""
+    result = image.copy()
+    arrays = {name: array for name, array in result}
+    identities = {"add": 0.0, "min": np.float32(3.4e38), "max": np.float32(-3.4e38)}
+    for loop in kernel.loops:
+        start = loop.max_negative_shift()
+        stop = start + loop.trip_count
+        # Reduction carries restart at every phase prologue (Fig. 9).
+        carries: Dict[str, float] = {
+            r.name: identities[r.op] for r in loop.reductions()
+        }
+        for _repeat in range(loop.repeats):
+            snapshot = {
+                name: arrays[name].copy() for name in loop.arrays_read()
+            }
+            values = []
+            for statement in loop.body:
+                values.append(
+                    _eval(statement.expr, snapshot, kernel.params, start, stop)
+                )
+            for statement, value in zip(loop.body, values):
+                if isinstance(statement, Assign):
+                    arrays[statement.array][start:stop] = value.astype(np.float32)
+                elif isinstance(statement, Reduce):
+                    folded = np.broadcast_to(value, (loop.trip_count,))
+                    if statement.op == "add":
+                        carries[statement.name] += float(
+                            np.add.reduce(folded, dtype=np.float64)
+                        )
+                    elif statement.op == "min":
+                        carries[statement.name] = min(
+                            carries[statement.name], float(np.min(folded))
+                        )
+                    else:
+                        carries[statement.name] = max(
+                            carries[statement.name], float(np.max(folded))
+                        )
+        for name, carry in carries.items():
+            arrays[name][0] = np.float32(carry)
+    return result

@@ -1,0 +1,321 @@
+"""The co-processor engine: per-cycle dispatch, execute, commit (§4.2).
+
+The engine is a pure *timing* machine — functional values were already
+computed by the scalar cores at transmit time (legal because transmission
+is in program order per core).  Each cycle it:
+
+1. commits completed instructions in order from each pool head, returning
+   physical registers to the renamer;
+2. executes at most one EM-SIMD instruction per core at its pool head —
+   ``MSR <VL>`` only once the core's SIMD pipeline is drained (which the
+   in-order commit guarantees when the MSR reaches the head);
+3. dispatches ready SVE uops out of order within each pool window, bounded
+   by the compute/ld-st issue budgets, the renamer freelist, the store
+   queue and — under temporal sharing — a *global* budget shared by all
+   cores (one full-width uop occupies every lane pipe).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.common.config import MachineConfig
+from repro.common.errors import SimulationError
+from repro.coproc.dynamic import DynamicInstruction, EntryKind, EntryState, InstructionPool
+from repro.coproc.lanes import LaneTable
+from repro.coproc.lsu import LoadStoreUnit
+from repro.coproc.metrics import Metrics, StallReason
+from repro.coproc.renamer import Renamer
+from repro.coproc.resource_table import ResourceTable
+from repro.isa.registers import OIValue, SystemRegister
+from repro.memory.hierarchy import VectorMemorySystem
+
+#: Instructions committed per core per cycle.
+COMMIT_WIDTH = 8
+
+#: Latency of a long-latency vector op (div/sqrt), in cycles.
+LONG_LATENCY = 12
+
+
+class SharingMode(enum.Enum):
+    """How cores share the lane pool."""
+
+    SPATIAL = "spatial"  # Private / VLS / Occamy: partitioned ownership
+    TEMPORAL = "temporal"  # FTS: fine-grained full-width time multiplexing
+    #: CTS (Beldianu & Ziavras's coarse-grained alternative): one core owns
+    #: the whole co-processor per quantum; switching pays a drain/restore
+    #: penalty but there is no shared-VRF renaming pressure.
+    COARSE_TEMPORAL = "coarse-temporal"
+
+
+class CoProcessor:
+    """The shared SIMD co-processor serving ``config.num_cores`` cores."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        mode: SharingMode,
+        metrics: Metrics,
+        lane_manager: "LaneManagerProtocol",
+    ) -> None:
+        self.config = config
+        self.mode = mode
+        self.metrics = metrics
+        self.lane_manager = lane_manager
+        num_cores = config.num_cores
+        total = config.vector.total_lanes
+        self.resource_table = ResourceTable(num_cores, total)
+        self.lane_table = LaneTable(total)
+        self.renamer = Renamer(
+            config.vector, num_cores, shared=(mode is SharingMode.TEMPORAL)
+        )
+        self.memory = VectorMemorySystem(config.memory)
+        self.lsus = [
+            LoadStoreUnit(c, self.memory, config.core.store_queue_entries)
+            for c in range(num_cores)
+        ]
+        self.pools = [
+            InstructionPool(c, config.core.instruction_pool_entries)
+            for c in range(num_cores)
+        ]
+        self.core_active = [True] * num_cores
+        self._seq = 0
+        self._rotate = 0
+        # Coarse-temporal (CTS) arbitration state.
+        self._cts_owner = 0
+        self._cts_until = config.vector.cts_quantum
+        self._cts_blocked_until = 0
+        self.cts_switches = 0
+
+    # --- scalar-core-facing interface -------------------------------------
+
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def can_transmit(self, core: int) -> bool:
+        """True when core ``core`` may transmit one more instruction."""
+        return not self.pools[core].full
+
+    def transmit(self, entry: DynamicInstruction) -> None:
+        """Enqueue a retired vector/EM-SIMD instruction (program order)."""
+        self.pools[entry.core].push(entry)
+
+    def pending_emsimd(self, core: int) -> int:
+        """In-flight EM-SIMD instructions of ``core`` (MRS sync, §4.1.1)."""
+        return self.pools[core].pending_emsimd()
+
+    def read_sysreg(self, core: int, sysreg: SystemRegister) -> object:
+        """Architectural read of a dedicated register (MRS)."""
+        return self.resource_table.read(core, sysreg)
+
+    def configured_vl(self, core: int) -> int:
+        """Current ``<VL>`` of ``core`` in lanes."""
+        return self.resource_table.vl(core)
+
+    def drained(self, core: int) -> bool:
+        """True when core ``core`` has no in-flight vector instructions."""
+        return self.pools[core].empty
+
+    def set_core_active(self, core: int, active: bool) -> None:
+        self.core_active[core] = active
+
+    # --- per-cycle engine ---------------------------------------------------
+
+    def step(self, cycle: int) -> int:
+        """Advance one cycle; returns the number of events processed."""
+        events = 0
+        for core in range(self.config.num_cores):
+            self.lsus[core].on_cycle(cycle)
+            for entry in self.pools[core].commit_ready(cycle, COMMIT_WIDTH):
+                if entry.holds_phys_reg:
+                    self.renamer.release(core)
+                events += 1
+        events += self._execute_emsimd(cycle)
+        events += self._dispatch(cycle)
+        return events
+
+    def _execute_emsimd(self, cycle: int) -> int:
+        """Process at most one head-of-pool EM-SIMD instruction per core."""
+        events = 0
+        for core in range(self.config.num_cores):
+            pool = self.pools[core]
+            head = pool.head()
+            if head is None or not head.is_emsimd or head.state is not EntryState.WAITING:
+                continue
+            # The head being EM-SIMD means every older instruction committed:
+            # the core's SIMD pipeline is drained (in-order commit).
+            if head.sysreg is SystemRegister.OI:
+                self._apply_oi(core, head, cycle)
+            elif head.sysreg is SystemRegister.VL:
+                self._apply_vl(core, head, cycle)
+            else:
+                raise SimulationError(f"MSR to read-only register {head.sysreg}")
+            head.state = EntryState.DONE
+            head.complete_cycle = cycle + 1
+            events += 1
+        return events
+
+    def _apply_oi(self, core: int, entry: DynamicInstruction, cycle: int) -> None:
+        oi = entry.value
+        if not isinstance(oi, OIValue):
+            raise SimulationError(f"MSR <OI> needs an OIValue, got {oi!r}")
+        self.resource_table.set_oi(core, oi)
+        self.metrics.on_phase_marker(core, oi, cycle, self.resource_table.vl(core))
+        decisions = self.lane_manager.on_phase_change(self.resource_table, cycle)
+        for decided_core, lanes in decisions.items():
+            self.resource_table.set_decision(decided_core, lanes)
+
+    def _apply_vl(self, core: int, entry: DynamicInstruction, cycle: int) -> None:
+        lanes = int(entry.value)  # type: ignore[arg-type]
+        if self.mode is not SharingMode.SPATIAL:
+            # Full-width time multiplexing: every core sees all lanes.
+            self.resource_table.force_vl(core, lanes)
+            self.metrics.on_lane_change(core, lanes, cycle)
+            self.metrics.on_reconfig(core, success=True)
+            return
+        success = self.resource_table.apply_vl(core, lanes)
+        if success:
+            self.lane_table.reconfigure(core, lanes)
+            self.metrics.on_lane_change(core, lanes, cycle)
+        self.metrics.on_reconfig(core, success)
+
+    def _core_order(self) -> List[int]:
+        """Rotate dispatch priority for fairness under temporal sharing."""
+        n = self.config.num_cores
+        self._rotate = (self._rotate + 1) % n
+        return [(self._rotate + i) % n for i in range(n)]
+
+    def _cts_arbitrate(self, cycle: int) -> Optional[int]:
+        """Coarse-temporal ownership: rotate at quantum expiry or when the
+        owner has nothing in flight; each hand-over pays the drain/restore
+        penalty.  Returns the core allowed to dispatch this cycle."""
+        if cycle < self._cts_blocked_until:
+            return None  # still draining/restoring from the last hand-over
+        n = self.config.num_cores
+        owner = self._cts_owner
+        owner_busy = not self.pools[owner].empty
+        others_waiting = [
+            core
+            for core in range(n)
+            if core != owner and not self.pools[core].empty
+        ]
+        expired = cycle >= self._cts_until
+        if others_waiting and (expired or not owner_busy):
+            self._cts_owner = others_waiting[0]
+            penalty = self.config.vector.cts_switch_penalty
+            # The quantum starts once the hand-over drain completes, so a
+            # penalty longer than the quantum cannot ping-pong ownership.
+            self._cts_until = cycle + penalty + self.config.vector.cts_quantum
+            self._cts_blocked_until = cycle + penalty
+            self.cts_switches += 1
+        if cycle < self._cts_blocked_until:
+            return None  # draining/restoring contexts
+        return self._cts_owner
+
+    def _dispatch(self, cycle: int) -> int:
+        vector = self.config.vector
+        dispatched = 0
+        if self.mode is SharingMode.COARSE_TEMPORAL:
+            owner = self._cts_arbitrate(cycle)
+            for core in range(self.config.num_cores):
+                if core == owner:
+                    budget = {
+                        "compute": vector.compute_issue_width,
+                        "ldst": vector.ldst_issue_width,
+                    }
+                    dispatched += self._dispatch_core(core, budget, cycle)
+                elif not self.pools[core].empty:
+                    self.metrics.on_stall(core, StallReason.ISSUE_BUDGET, cycle)
+                elif self.core_active[core]:
+                    self.metrics.on_stall(core, StallReason.EMPTY, cycle)
+            return dispatched
+        if self.mode is SharingMode.TEMPORAL:
+            shared_budget = {
+                "compute": vector.compute_issue_width,
+                "ldst": vector.ldst_issue_width,
+            }
+            budgets = [shared_budget] * self.config.num_cores
+        else:
+            budgets = [
+                {
+                    "compute": vector.compute_issue_width,
+                    "ldst": vector.ldst_issue_width,
+                }
+                for _ in range(self.config.num_cores)
+            ]
+        for core in self._core_order():
+            dispatched += self._dispatch_core(core, budgets[core], cycle)
+        return dispatched
+
+    def _dispatch_core(self, core: int, budget: Dict[str, int], cycle: int) -> int:
+        pool = self.pools[core]
+        if pool.empty:
+            if self.core_active[core]:
+                self.metrics.on_stall(core, StallReason.EMPTY, cycle)
+            return 0
+        dispatched = 0
+        blocked: Optional[StallReason] = None
+        for entry in pool.dispatchable():
+            if budget["compute"] <= 0 and budget["ldst"] <= 0:
+                blocked = blocked or StallReason.ISSUE_BUDGET
+                break
+            if not entry.ready(cycle):
+                blocked = blocked or StallReason.DEPENDENCY
+                continue
+            if entry.kind is EntryKind.COMPUTE:
+                if budget["compute"] <= 0:
+                    blocked = blocked or StallReason.ISSUE_BUDGET
+                    continue
+                if entry.writes_vreg and not self.renamer.try_allocate(core):
+                    # Renaming happens in program order: a rename stall
+                    # blocks every younger instruction too.
+                    blocked = StallReason.RENAME
+                    break
+                entry.holds_phys_reg = entry.writes_vreg
+                latency = LONG_LATENCY if entry.long_latency else self.config.vector.compute_latency
+                entry.state = EntryState.ISSUED
+                entry.complete_cycle = cycle + latency
+                budget["compute"] -= 1
+                self.metrics.on_compute_dispatch(core, entry.vl_lanes, entry.flops, cycle)
+                dispatched += 1
+            elif entry.kind in (EntryKind.LOAD, EntryKind.STORE):
+                if budget["ldst"] <= 0:
+                    blocked = blocked or StallReason.ISSUE_BUDGET
+                    continue
+                is_store = entry.kind is EntryKind.STORE
+                lsu = self.lsus[core]
+                if is_store and lsu.store_queue_full(cycle):
+                    blocked = blocked or StallReason.STORE_QUEUE
+                    continue
+                if not is_store and not self.renamer.try_allocate(core):
+                    blocked = StallReason.RENAME
+                    break
+                entry.holds_phys_reg = not is_store
+                result = lsu.issue(entry.addr, entry.nbytes, cycle, is_store)
+                entry.state = EntryState.ISSUED
+                entry.complete_cycle = result.complete_cycle
+                budget["ldst"] -= 1
+                self.metrics.on_ldst_dispatch(core, entry.vl_lanes, entry.nbytes, cycle)
+                dispatched += 1
+            else:  # EM-SIMD entries never appear (dispatchable() stops there)
+                raise SimulationError("EM-SIMD instruction in dispatch scan")
+        if dispatched == 0:
+            head = pool.head()
+            if head is not None and head.is_emsimd:
+                self.metrics.on_stall(core, StallReason.RECONFIG, cycle)
+            elif blocked is not None:
+                self.metrics.on_stall(core, blocked, cycle)
+            elif any(e.state is EntryState.WAITING for e in pool.dispatchable()):
+                self.metrics.on_stall(core, StallReason.DEPENDENCY, cycle)
+        return dispatched
+
+
+class LaneManagerProtocol:
+    """Duck-typed interface the engine expects from a lane manager."""
+
+    def on_phase_change(
+        self, table: ResourceTable, cycle: int
+    ) -> Dict[int, int]:  # pragma: no cover - interface only
+        raise NotImplementedError

@@ -1,0 +1,152 @@
+"""Dynamic instruction records and the per-core Instruction Pool.
+
+A :class:`DynamicInstruction` is one *executed instance* of a static
+instruction: it snapshots everything the co-processor needs for timing
+(vector length at transmit, effective address, dependence edges).
+Functional values are computed by the scalar core at transmit time — legal
+because each core transmits in program order (§4.1.1) — so the co-processor
+is purely a timing machine.
+
+The :class:`InstructionPool` is the per-core in-flight window (Fig. 5's
+Instruction Pool + ROB): entries enter at transmit, dispatch out of order
+once ready, and commit in order from the head.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.isa.instructions import Instruction
+from repro.isa.registers import SystemRegister
+
+
+class EntryState(enum.Enum):
+    WAITING = "waiting"
+    ISSUED = "issued"
+    DONE = "done"
+
+
+class EntryKind(enum.Enum):
+    COMPUTE = "compute"
+    LOAD = "load"
+    STORE = "store"
+    EMSIMD = "emsimd"
+
+
+@dataclass
+class DynamicInstruction:
+    """One in-flight instance of a transmitted vector/EM-SIMD instruction."""
+
+    seq: int
+    core: int
+    kind: EntryKind
+    instr: Instruction
+    vl_lanes: int
+    transmit_cycle: int
+    deps: Tuple["DynamicInstruction", ...] = ()
+    # Load/store fields.
+    addr: int = 0
+    nbytes: int = 0
+    # Compute fields.
+    flops: int = 0
+    long_latency: bool = False
+    writes_vreg: bool = False
+    scalar_dst: Optional[str] = None
+    # EM-SIMD fields.
+    sysreg: Optional[SystemRegister] = None
+    value: object = None
+    # Progress.
+    state: EntryState = EntryState.WAITING
+    complete_cycle: float = 0.0
+    holds_phys_reg: bool = False
+
+    def ready(self, cycle: float) -> bool:
+        """All source producers have completed by ``cycle``."""
+        for dep in self.deps:
+            if dep.state is EntryState.WAITING or dep.complete_cycle > cycle:
+                return False
+        return True
+
+    def completed(self, cycle: float) -> bool:
+        return self.state is not EntryState.WAITING and self.complete_cycle <= cycle
+
+    @property
+    def is_emsimd(self) -> bool:
+        return self.kind is EntryKind.EMSIMD
+
+
+class InstructionPool:
+    """Per-core in-flight window with in-order commit."""
+
+    def __init__(self, core_id: int, capacity: int) -> None:
+        if capacity < 1:
+            raise SimulationError("pool capacity must be positive")
+        self.core_id = core_id
+        self.capacity = capacity
+        self._entries: List[DynamicInstruction] = []
+        self.transmitted = 0
+        self.committed = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def push(self, entry: DynamicInstruction) -> None:
+        """Enqueue a freshly transmitted instruction (program order)."""
+        if self.full:
+            raise SimulationError(f"core {self.core_id}: pool overflow")
+        self._entries.append(entry)
+        self.transmitted += 1
+
+    def head(self) -> Optional[DynamicInstruction]:
+        """The oldest in-flight instruction."""
+        return self._entries[0] if self._entries else None
+
+    def dispatchable(self) -> List[DynamicInstruction]:
+        """Entries eligible for dispatch this cycle, oldest first.
+
+        EM-SIMD instructions serialise the window (§4.2.2 executes them in
+        order on a drained pipeline), so scanning stops at the first one.
+        """
+        eligible: List[DynamicInstruction] = []
+        for entry in self._entries:
+            if entry.is_emsimd:
+                break
+            if entry.state is EntryState.WAITING:
+                eligible.append(entry)
+        return eligible
+
+    def commit_ready(self, cycle: float, width: int) -> List[DynamicInstruction]:
+        """Pop up to ``width`` completed entries from the head, in order."""
+        committed: List[DynamicInstruction] = []
+        while self._entries and len(committed) < width:
+            head = self._entries[0]
+            if head.state is EntryState.WAITING or head.complete_cycle > cycle:
+                break
+            committed.append(self._entries.pop(0))
+        self.committed += len(committed)
+        return committed
+
+    def pending_emsimd(self) -> int:
+        """Number of EM-SIMD instructions still in flight (for MRS sync)."""
+        return sum(1 for e in self._entries if e.is_emsimd)
+
+    def drained_for_head(self) -> bool:
+        """True when the head is the *only* in-flight instruction or older
+        ones have committed — i.e. the SIMD pipeline is drained up to it."""
+        if not self._entries:
+            return True
+        head = self._entries[0]
+        return head.state is EntryState.WAITING and all(
+            e is head or e.state is not EntryState.ISSUED for e in self._entries[:1]
+        )

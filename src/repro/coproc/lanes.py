@@ -1,0 +1,94 @@
+"""ExeBUs and the two configuration tables (``Dispatch.Cfg``/``RegFile.Cfg``).
+
+Each :class:`ExeBU` is a homogeneous 128-bit execution unit hard-wired to
+one RegBlk; both are always assigned to the same core together (§4.2.1), so
+one :class:`LaneTable` models both configuration tables: entry *i* records
+the owner of ExeBU *i* and of RegBlk *i*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.common.errors import ProtocolError
+
+#: Owner value for an unassigned lane.
+FREE: Optional[int] = None
+
+
+@dataclass
+class ExeBU:
+    """One 128-bit basic execution unit plus its register block."""
+
+    index: int
+    owner: Optional[int] = FREE
+    uops_executed: int = 0
+
+    @property
+    def is_free(self) -> bool:
+        return self.owner is FREE
+
+
+class LaneTable:
+    """Ownership of the N ExeBU/RegBlk pairs (Dispatch.Cfg + RegFile.Cfg)."""
+
+    def __init__(self, total_lanes: int) -> None:
+        if total_lanes < 1:
+            raise ProtocolError("need at least one lane")
+        self.total_lanes = total_lanes
+        self._lanes: List[ExeBU] = [ExeBU(index=i) for i in range(total_lanes)]
+        self.reconfigurations = 0
+
+    def owner_of(self, lane: int) -> Optional[int]:
+        """The core owning lane ``lane`` (None when free)."""
+        return self._lanes[lane].owner
+
+    def lanes_of(self, core: int) -> List[int]:
+        """Indices of the lanes currently owned by ``core``."""
+        return [bu.index for bu in self._lanes if bu.owner == core]
+
+    def owned_count(self, core: int) -> int:
+        """Number of lanes owned by ``core``."""
+        return sum(1 for bu in self._lanes if bu.owner == core)
+
+    @property
+    def free_count(self) -> int:
+        """Number of unassigned lanes."""
+        return sum(1 for bu in self._lanes if bu.is_free)
+
+    def reconfigure(self, core: int, lanes: int) -> None:
+        """Give ``core`` exactly ``lanes`` lanes (§4.2.2).
+
+        Frees every ExeBU/RegBlk previously owned by ``core``, then claims
+        ``lanes`` free ones.  Data in freed RegBlks is *not* preserved — the
+        compiler guarantees it is dead (§4.2.2).
+        """
+        if lanes < 0:
+            raise ProtocolError("cannot assign a negative lane count")
+        for bu in self._lanes:
+            if bu.owner == core:
+                bu.owner = FREE
+        if lanes > self.free_count:
+            raise ProtocolError(
+                f"core {core} requested {lanes} lanes but only "
+                f"{self.free_count} are free"
+            )
+        assigned = 0
+        for bu in self._lanes:
+            if assigned == lanes:
+                break
+            if bu.is_free:
+                bu.owner = core
+                assigned += 1
+        self.reconfigurations += 1
+
+    def record_uops(self, core: int, uops: int) -> None:
+        """Attribute ``uops`` executed micro-ops to each lane of ``core``."""
+        for bu in self._lanes:
+            if bu.owner == core:
+                bu.uops_executed += uops
+
+    def ownership_vector(self) -> Sequence[Optional[int]]:
+        """Owner of each lane, by lane index (for tests/visualisation)."""
+        return tuple(bu.owner for bu in self._lanes)

@@ -1,0 +1,185 @@
+"""Measurement: SIMD utilisation, issue rates, stalls, lane timelines.
+
+Definitions follow §2 of the paper:
+
+* **SIMD utilisation** — ``sum_c busy_lanes(c) / (total_lanes * C)`` where a
+  lane contributes one busy *pipe-slot* per compute uop dispatched on it and
+  each ExeBU has ``pipes`` (= compute issue width) execution pipes;
+* **SIMD issue rate** — compute instructions dispatched per core per cycle,
+  reported per *phase*;
+* **lane timeline** — the step function of lanes owned per core
+  (Fig. 2(b)-(e) and Fig. 14(b));
+* **stall attribution** — one reason per core per cycle when the oldest
+  waiting instruction cannot dispatch (renaming stalls feed Fig. 13).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.timeline import BucketSeries, Timeline
+from repro.isa.registers import OIValue
+
+
+class StallReason(enum.Enum):
+    """Why a core's oldest waiting vector instruction did not dispatch."""
+
+    EMPTY = "empty"  # nothing in the pool (scalar side is the bottleneck)
+    DEPENDENCY = "dependency"  # waiting for source operands / memory data
+    RENAME = "rename"  # no free physical register (Fig. 13)
+    ISSUE_BUDGET = "issue-budget"  # lane pipes / ld-st slots exhausted
+    STORE_QUEUE = "store-queue"  # STQ full
+    RECONFIG = "reconfig"  # EM-SIMD barrier / pipeline drain
+
+
+@dataclass
+class PhaseRecord:
+    """One dynamic phase execution on one core."""
+
+    core: int
+    oi: OIValue
+    start_cycle: int
+    end_cycle: Optional[int] = None
+    compute_uops: int = 0
+    ldst_uops: int = 0
+    vl_at_start: int = 0
+
+    @property
+    def duration(self) -> int:
+        end = self.end_cycle if self.end_cycle is not None else self.start_cycle
+        return max(0, end - self.start_cycle)
+
+    @property
+    def issue_rate(self) -> float:
+        """SIMD compute instructions issued per cycle during this phase."""
+        return self.compute_uops / self.duration if self.duration else 0.0
+
+
+class Metrics:
+    """Aggregates everything the evaluation section reports."""
+
+    def __init__(
+        self,
+        num_cores: int,
+        total_lanes: int,
+        pipes_per_lane: int,
+        bucket_cycles: int = 1000,
+    ) -> None:
+        self.num_cores = num_cores
+        self.total_lanes = total_lanes
+        self.pipes_per_lane = pipes_per_lane
+        self.busy_pipe_slots = 0.0
+        self.compute_uops = [0] * num_cores
+        self.ldst_uops = [0] * num_cores
+        self.flops = [0] * num_cores
+        self.busy_lanes_series = [BucketSeries(bucket_cycles) for _ in range(num_cores)]
+        self.lane_timeline = [Timeline() for _ in range(num_cores)]
+        self.stalls: List[Dict[StallReason, int]] = [
+            {reason: 0 for reason in StallReason} for _ in range(num_cores)
+        ]
+        self.phases: List[PhaseRecord] = []
+        self._open_phase: List[Optional[PhaseRecord]] = [None] * num_cores
+        self.core_done_cycle: List[Optional[int]] = [None] * num_cores
+        self.reconfig_success = [0] * num_cores
+        self.reconfig_failed = [0] * num_cores
+        self.monitor_cycles = [0] * num_cores
+        self.reconfig_cycles = [0] * num_cores
+        self.total_cycles = 0
+
+    # --- co-processor events --------------------------------------------
+
+    def on_compute_dispatch(self, core: int, vl_lanes: int, flops: int, cycle: int) -> None:
+        self.compute_uops[core] += 1
+        self.flops[core] += flops
+        self.busy_pipe_slots += vl_lanes
+        self.busy_lanes_series[core].add(cycle, vl_lanes / self.pipes_per_lane)
+        phase = self._open_phase[core]
+        if phase is not None:
+            phase.compute_uops += 1
+
+    def on_ldst_dispatch(self, core: int, vl_lanes: int, nbytes: int, cycle: int) -> None:
+        self.ldst_uops[core] += 1
+        phase = self._open_phase[core]
+        if phase is not None:
+            phase.ldst_uops += 1
+
+    def on_stall(self, core: int, reason: StallReason, cycle: int) -> None:
+        self.stalls[core][reason] += 1
+
+    def on_lane_change(self, core: int, lanes: int, cycle: int) -> None:
+        self.lane_timeline[core].record(cycle, lanes)
+
+    def on_reconfig(self, core: int, success: bool) -> None:
+        if success:
+            self.reconfig_success[core] += 1
+        else:
+            self.reconfig_failed[core] += 1
+
+    def on_phase_marker(self, core: int, oi: OIValue, cycle: int, vl: int) -> None:
+        """A ``MSR <OI>`` executed: phase begins (oi != 0) or ends (oi == 0)."""
+        open_phase = self._open_phase[core]
+        if open_phase is not None:
+            open_phase.end_cycle = cycle
+            self._open_phase[core] = None
+        if not oi.is_phase_end:
+            record = PhaseRecord(core=core, oi=oi, start_cycle=cycle, vl_at_start=vl)
+            self.phases.append(record)
+            self._open_phase[core] = record
+
+    def on_overhead_cycle(self, core: int, kind: str) -> None:
+        """A scalar cycle spent purely in EM-SIMD instrumentation."""
+        if kind == "monitor":
+            self.monitor_cycles[core] += 1
+        else:
+            self.reconfig_cycles[core] += 1
+
+    def on_core_done(self, core: int, cycle: int) -> None:
+        if self.core_done_cycle[core] is None:
+            self.core_done_cycle[core] = cycle
+            self.lane_timeline[core].record(cycle, 0)
+
+    def close(self, cycle: int) -> None:
+        """Finalise at end of simulation."""
+        self.total_cycles = cycle
+        for core in range(self.num_cores):
+            phase = self._open_phase[core]
+            if phase is not None:
+                phase.end_cycle = cycle
+                self._open_phase[core] = None
+            if self.core_done_cycle[core] is None:
+                self.core_done_cycle[core] = cycle
+
+    # --- derived results ---------------------------------------------------
+
+    def simd_utilization(self, end_cycle: Optional[int] = None) -> float:
+        """Overall SIMD utilisation per the paper's §2 formula."""
+        cycles = end_cycle if end_cycle is not None else self.total_cycles
+        if cycles <= 0:
+            return 0.0
+        capacity = self.total_lanes * self.pipes_per_lane * cycles
+        return min(1.0, self.busy_pipe_slots / capacity)
+
+    def core_cycles(self, core: int) -> int:
+        """Cycles from start until core ``core`` finished its workload."""
+        done = self.core_done_cycle[core]
+        return done if done is not None else self.total_cycles
+
+    def phases_of(self, core: int) -> List[PhaseRecord]:
+        return [p for p in self.phases if p.core == core]
+
+    def stall_fraction(self, core: int, reason: StallReason) -> float:
+        """Fraction of the core's active cycles stalled for ``reason``."""
+        cycles = self.core_cycles(core)
+        if cycles <= 0:
+            return 0.0
+        return min(1.0, self.stalls[core][reason] / cycles)
+
+    def overhead_fraction(self, core: int) -> Dict[str, float]:
+        """Fig. 15: instrumentation overhead relative to core runtime."""
+        cycles = max(1, self.core_cycles(core))
+        return {
+            "monitor": self.monitor_cycles[core] / cycles,
+            "reconfig": self.reconfig_cycles[core] / cycles,
+        }

@@ -1,0 +1,55 @@
+"""The paper's primary contribution: elastic spatial sharing.
+
+This package holds the vector-length-aware roofline model (§5.1), the
+greedy lane-partition algorithm (§5.2), the lane managers, the four sharing
+policies of Fig. 1 and the multi-core machine that ties scalar cores to the
+shared co-processor.
+"""
+
+from repro.coproc.metrics import Metrics, PhaseRecord, StallReason
+from repro.core.lane_manager import (
+    ElasticLaneManager,
+    StaticLaneManager,
+    TemporalLaneManager,
+)
+from repro.core.machine import Job, Machine, RunResult, run_policy
+from repro.core.partition import greedy_partition, static_partition
+from repro.core.policies import (
+    ALL_POLICIES,
+    CTS,
+    EXTENDED_POLICIES,
+    FTS,
+    OCCAMY,
+    PRIVATE,
+    VLS,
+    Policy,
+    policy,
+)
+from repro.core.roofline import RooflineModel
+from repro.core.scalar_core import ScalarCore
+
+__all__ = [
+    "ALL_POLICIES",
+    "CTS",
+    "EXTENDED_POLICIES",
+    "ElasticLaneManager",
+    "FTS",
+    "Job",
+    "Machine",
+    "Metrics",
+    "OCCAMY",
+    "PRIVATE",
+    "PhaseRecord",
+    "Policy",
+    "RooflineModel",
+    "RunResult",
+    "ScalarCore",
+    "StallReason",
+    "StaticLaneManager",
+    "TemporalLaneManager",
+    "VLS",
+    "greedy_partition",
+    "policy",
+    "run_policy",
+    "static_partition",
+]

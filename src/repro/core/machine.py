@@ -1,0 +1,182 @@
+"""The multi-core system: scalar cores + shared co-processor + policy.
+
+:class:`Machine` wires up one :class:`~repro.coproc.coprocessor.CoProcessor`
+(under a sharing :class:`~repro.core.policies.Policy`) with one scalar core
+per workload and advances everything cycle by cycle until every workload
+halts and drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.config import MachineConfig
+from repro.common.errors import DeadlockError, SimulationError
+from repro.coproc.coprocessor import CoProcessor
+from repro.coproc.metrics import Metrics
+from repro.core.policies import Policy
+from repro.core.scalar_core import ScalarCore
+from repro.isa.program import Program
+from repro.memory.image import MemoryImage
+
+#: Cycles without any retire/dispatch/commit before declaring deadlock.
+DEADLOCK_WINDOW = 100_000
+
+
+@dataclass
+class Job:
+    """One workload: a compiled program plus its functional memory."""
+
+    program: Program
+    image: MemoryImage
+
+
+@dataclass
+class RunResult:
+    """Everything a simulation produced."""
+
+    policy_key: str
+    config: MachineConfig
+    metrics: Metrics
+    total_cycles: int
+    core_cycles: List[int]
+    images: List[Optional[MemoryImage]]
+    lane_manager: object
+    #: Per-core LSU traffic statistics (loads/stores/bytes, hit levels).
+    lsu_stats: List[object] = field(default_factory=list)
+    #: Cache tag statistics: {"vec_cache": CacheStats, "l2": CacheStats}.
+    cache_stats: Dict[str, object] = field(default_factory=dict)
+
+    def core_time(self, core: int) -> int:
+        """Cycles until core ``core``'s workload completed."""
+        return self.core_cycles[core]
+
+    def speedup_over(self, baseline: "RunResult", core: int) -> float:
+        """Per-core speedup relative to a baseline run (paper Fig. 10)."""
+        mine = self.core_time(core)
+        theirs = baseline.core_time(core)
+        if mine <= 0:
+            return float("inf")
+        return theirs / mine
+
+
+class Machine:
+    """A ``config.num_cores``-core system under one sharing policy."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        policy: Policy,
+        jobs: Sequence[Optional[Job]],
+    ) -> None:
+        if len(jobs) != config.num_cores:
+            raise SimulationError(
+                f"need one job slot per core: {len(jobs)} jobs, "
+                f"{config.num_cores} cores"
+            )
+        self.config = config
+        self.policy = policy
+        self.jobs = list(jobs)
+        phase_ois: Dict[int, list] = {
+            core: list(job.program.meta.get("phase_ois", []))
+            for core, job in enumerate(jobs)
+            if job is not None
+        }
+        self.lane_manager = policy.build_lane_manager(config, phase_ois)
+        self.metrics = Metrics(
+            num_cores=config.num_cores,
+            total_lanes=config.vector.total_lanes,
+            pipes_per_lane=config.vector.compute_issue_width,
+        )
+        self.coproc = CoProcessor(config, policy.mode, self.metrics, self.lane_manager)
+        self._done: List[bool] = [job is None for job in jobs]
+        self.cores: List[Optional[ScalarCore]] = []
+        for core_id, job in enumerate(jobs):
+            if job is None:
+                self.cores.append(None)
+                self.coproc.set_core_active(core_id, False)
+                self.metrics.on_core_done(core_id, 0)
+            else:
+                self.cores.append(
+                    ScalarCore(
+                        core_id=core_id,
+                        program=job.program,
+                        image=job.image,
+                        coproc=self.coproc,
+                        metrics=self.metrics,
+                        config=config.core,
+                    )
+                )
+
+    def step(self, cycle: int) -> int:
+        """Advance every core and the co-processor by one cycle.
+
+        Returns the number of events processed (0 means no forward
+        progress this cycle).  Exposed so tests and interactive tools can
+        interleave simulation with external actions (e.g. forcing lane
+        decisions); normal users call :meth:`run`.
+        """
+        progress = 0
+        for core_id, core in enumerate(self.cores):
+            if core is not None and not self._done[core_id]:
+                progress += core.step(cycle)
+        progress += self.coproc.step(cycle)
+        for core_id, core in enumerate(self.cores):
+            if core is None or self._done[core_id]:
+                continue
+            if core.halted and self.coproc.drained(core_id):
+                self._done[core_id] = True
+                self.metrics.on_core_done(core_id, cycle)
+                self.coproc.set_core_active(core_id, False)
+                progress += 1
+        return progress
+
+    @property
+    def finished(self) -> bool:
+        """True when every workload has halted and drained."""
+        return all(self._done)
+
+    def run(self, max_cycles: int = 3_000_000) -> RunResult:
+        """Simulate until every workload halts and drains."""
+        cycle = 0
+        last_progress = 0
+        while not self.finished:
+            if cycle >= max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded {max_cycles} cycles "
+                    f"(policy={self.policy.key})"
+                )
+            if self.step(cycle):
+                last_progress = cycle
+            elif cycle - last_progress > DEADLOCK_WINDOW:
+                raise DeadlockError(
+                    f"no forward progress since cycle {last_progress} "
+                    f"(policy={self.policy.key})"
+                )
+            cycle += 1
+        self.metrics.close(cycle)
+        return RunResult(
+            policy_key=self.policy.key,
+            config=self.config,
+            metrics=self.metrics,
+            total_cycles=cycle,
+            core_cycles=[self.metrics.core_cycles(c) for c in range(self.config.num_cores)],
+            images=[job.image if job else None for job in self.jobs],
+            lane_manager=self.lane_manager,
+            lsu_stats=[lsu.stats for lsu in self.coproc.lsus],
+            cache_stats={
+                "vec_cache": self.coproc.memory.vec_cache.stats,
+                "l2": self.coproc.memory.l2.stats,
+            },
+        )
+
+
+def run_policy(
+    config: MachineConfig,
+    policy: Policy,
+    jobs: Sequence[Optional[Job]],
+    max_cycles: int = 3_000_000,
+) -> RunResult:
+    """Convenience wrapper: build a machine and run it."""
+    return Machine(config, policy, jobs).run(max_cycles=max_cycles)

@@ -1,0 +1,521 @@
+"""The scalar (CPU) core model: interpreter + transmit rules (§4.1).
+
+Each scalar core interprets the mini ISA in order, retiring up to
+``scalar_ipc`` instructions per cycle.  Vector/EM-SIMD instructions are
+*functionally executed at transmit time* — legal because each core
+transmits in program order — and then handed to the co-processor as
+:class:`DynamicInstruction` timing records (§4.1.1).
+
+Ordering rules implemented here (Table 2, scalar-core-managed cells):
+
+* ⟨Scalar, SVE/EM-SIMD⟩ — scalar operands are read at transmit, so the
+  dependency is resolved by in-order interpretation;
+* ⟨SVE, Scalar⟩ — a scalar read of a register written by an in-flight
+  vector instruction (``VHReduce``) stalls until that instruction
+  completes;
+* ⟨EM-SIMD, Scalar/SVE⟩ — ``MRS`` of any register except ``<decision>``
+  stalls until the core's older EM-SIMD writes have executed; ``MRS
+  <decision>`` is transmitted speculatively (§4.1.1) and reads the table
+  immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.config import CoreConfig
+from repro.common.errors import SimulationError
+from repro.coproc.coprocessor import CoProcessor
+from repro.coproc.dynamic import DynamicInstruction, EntryKind
+from repro.coproc.metrics import Metrics
+from repro.isa.instructions import (
+    MRS,
+    MSR,
+    AddVL,
+    Branch,
+    Halt,
+    Instruction,
+    Label,
+    ScalarOp,
+    VHReduce,
+    VLoad,
+    VOp,
+    VStore,
+    WhileLT,
+)
+from repro.isa.operands import Imm, PReg, ScalarRef, VReg
+from repro.isa.program import Program
+from repro.isa.registers import SystemRegister
+from repro.memory.image import MemoryImage
+
+#: Sentinel returned by operand reads that must stall.
+_STALL = object()
+
+#: Elements per 128-bit lane for 32-bit data.
+ELEMS_PER_LANE = 4
+
+
+class ScalarCore:
+    """One in-order-retire scalar core driving the shared co-processor."""
+
+    def __init__(
+        self,
+        core_id: int,
+        program: Program,
+        image: MemoryImage,
+        coproc: CoProcessor,
+        metrics: Metrics,
+        config: CoreConfig,
+    ) -> None:
+        self.core_id = core_id
+        self.program = program
+        self.image = image
+        self.coproc = coproc
+        self.metrics = metrics
+        self.config = config
+        self.pc = 0
+        self.halted = False
+        self.regs: Dict[str, object] = {}
+        self.vregs: Dict[str, np.ndarray] = {}
+        self.pregs: Dict[str, int] = {}
+        self._last_writer: Dict[str, DynamicInstruction] = {}
+        self._pending_scalar: Dict[str, DynamicInstruction] = {}
+        self.retired = 0
+        self.retired_vector = 0
+        self._monitor_idx = frozenset(program.meta.get("monitor", ()))
+        self._reconfig_idx = frozenset(program.meta.get("reconfig", ()))
+
+    # --- operand helpers ---------------------------------------------------
+
+    def _read_scalar(self, src: object, cycle: int) -> object:
+        """Read a scalar operand; returns ``_STALL`` if a vector write to it
+        is still in flight."""
+        if isinstance(src, Imm):
+            return src.value
+        if isinstance(src, (int, float)):
+            return src
+        name = src.name if isinstance(src, ScalarRef) else src
+        pending = self._pending_scalar.get(name)
+        if pending is not None:
+            if not pending.completed(cycle):
+                return _STALL
+            del self._pending_scalar[name]
+        return self.regs.get(name, 0)
+
+    def _elems(self) -> int:
+        """Current vector length in 32-bit elements."""
+        return self.coproc.configured_vl(self.core_id) * ELEMS_PER_LANE
+
+    def _vec_operand(self, operand: object, active: int, cycle: int) -> object:
+        """Materialise a vector operand as an array of >= ``active`` elems
+        (or ``_STALL`` when a broadcast scalar is still pending)."""
+        if isinstance(operand, VReg):
+            value = self.vregs.get(operand.name)
+            if value is None:
+                value = np.zeros(active, dtype=np.float32)
+            elif len(value) < active:
+                value = np.concatenate(
+                    [value, np.zeros(active - len(value), dtype=np.float32)]
+                )
+            return value[:active]
+        if isinstance(operand, (ScalarRef, str)):
+            scalar = self._read_scalar(operand, cycle)
+            if scalar is _STALL:
+                return _STALL
+            return np.float32(scalar)
+        if isinstance(operand, Imm):
+            return np.float32(operand.value)
+        raise SimulationError(f"bad vector operand {operand!r}")
+
+    def _deps_for(self, names: Tuple[str, ...]) -> Tuple[DynamicInstruction, ...]:
+        return tuple(
+            self._last_writer[name] for name in names if name in self._last_writer
+        )
+
+    def _active(self, pred: Optional[PReg]) -> int:
+        if pred is None:
+            return self._elems()
+        return self.pregs.get(pred.name, 0)
+
+    # --- the per-cycle interpreter ------------------------------------------
+
+    def step(self, cycle: int) -> int:
+        """Retire up to ``scalar_ipc`` instructions; returns retired count."""
+        if self.halted:
+            return 0
+        slots = self.config.scalar_ipc
+        transmits = self.config.transmit_width
+        retired_indices: List[int] = []
+        stall_kind: Optional[str] = None
+        while slots > 0 and not self.halted:
+            instr = self.program.instructions[self.pc]
+            if isinstance(instr, Label):
+                self.pc += 1
+                continue
+            if instr.is_vector and transmits <= 0:
+                break
+            outcome, kind = self._execute(instr, cycle)
+            if outcome == "stall":
+                stall_kind = kind
+                break
+            retired_indices.append(self.pc if outcome != "branch" else self.pc)
+            if outcome == "branch":
+                self.pc = self._branch_target
+            else:
+                self.pc += 1
+            slots -= 1
+            if instr.is_vector:
+                transmits -= 1
+            self.retired += 1
+        self._account_overhead(retired_indices, stall_kind)
+        return len(retired_indices)
+
+    def _account_overhead(
+        self, retired_indices: List[int], stall_kind: Optional[str]
+    ) -> None:
+        """Attribute whole cycles spent purely in EM-SIMD instrumentation
+        (Fig. 15's monitoring vs reconfiguration split)."""
+        if stall_kind == "reconfig":
+            self.metrics.on_overhead_cycle(self.core_id, "reconfig")
+            return
+        if not retired_indices:
+            return
+        instrumented = self._monitor_idx | self._reconfig_idx
+        if all(index in instrumented for index in retired_indices):
+            if any(index in self._reconfig_idx for index in retired_indices):
+                self.metrics.on_overhead_cycle(self.core_id, "reconfig")
+            else:
+                self.metrics.on_overhead_cycle(self.core_id, "monitor")
+
+    # --- instruction semantics ----------------------------------------------
+
+    def _execute(self, instr: Instruction, cycle: int) -> Tuple[str, Optional[str]]:
+        """Execute one instruction. Returns (outcome, stall_kind) where
+        outcome is "ok", "branch" or "stall"."""
+        if isinstance(instr, ScalarOp):
+            return self._exec_scalar_op(instr, cycle)
+        if isinstance(instr, Branch):
+            return self._exec_branch(instr, cycle)
+        if isinstance(instr, AddVL):
+            value = self._read_scalar(instr.src, cycle)
+            if value is _STALL:
+                return "stall", None
+            lanes = self.coproc.configured_vl(self.core_id)
+            self.regs[instr.dst] = value + lanes * 16 // instr.elem_bytes
+            return "ok", None
+        if isinstance(instr, Halt):
+            self.halted = True
+            return "ok", None
+        if isinstance(instr, MSR):
+            return self._exec_msr(instr, cycle)
+        if isinstance(instr, MRS):
+            return self._exec_mrs(instr, cycle)
+        if isinstance(instr, WhileLT):
+            return self._exec_whilelt(instr, cycle)
+        if isinstance(instr, VOp):
+            return self._exec_vop(instr, cycle)
+        if isinstance(instr, VLoad):
+            return self._exec_vload(instr, cycle)
+        if isinstance(instr, VStore):
+            return self._exec_vstore(instr, cycle)
+        if isinstance(instr, VHReduce):
+            return self._exec_vhreduce(instr, cycle)
+        raise SimulationError(f"cannot execute {instr!r}")
+
+    def _exec_scalar_op(self, instr: ScalarOp, cycle: int) -> Tuple[str, Optional[str]]:
+        values = []
+        for src in instr.srcs:
+            value = self._read_scalar(src, cycle)
+            if value is _STALL:
+                return "stall", None
+            values.append(value)
+        op = instr.op
+        if op == "mov":
+            result = values[0]
+        elif op == "add":
+            result = values[0] + values[1]
+        elif op == "sub":
+            result = values[0] - values[1]
+        elif op == "mul":
+            result = values[0] * values[1]
+        elif op == "div":
+            result = values[0] / values[1] if values[1] else 0
+        elif op == "rem":
+            result = values[0] % values[1] if values[1] else 0
+        elif op == "and":
+            result = int(values[0]) & int(values[1])
+        elif op == "or":
+            result = int(values[0]) | int(values[1])
+        elif op == "min":
+            result = min(values)
+        elif op == "max":
+            result = max(values)
+        elif op == "lsl":
+            result = int(values[0]) << int(values[1])
+        elif op == "lsr":
+            result = int(values[0]) >> int(values[1])
+        else:  # pragma: no cover - guarded by ScalarOp validation
+            raise SimulationError(f"unknown scalar op {op}")
+        self.regs[instr.dst] = result
+        return "ok", None
+
+    _branch_target = 0
+
+    def _exec_branch(self, instr: Branch, cycle: int) -> Tuple[str, Optional[str]]:
+        if instr.cond == "al":
+            taken = True
+        else:
+            lhs = self._read_scalar(instr.src1, cycle)
+            rhs = self._read_scalar(instr.src2, cycle)
+            if lhs is _STALL or rhs is _STALL:
+                return "stall", None
+            taken = {
+                "eq": lhs == rhs,
+                "ne": lhs != rhs,
+                "lt": lhs < rhs,
+                "le": lhs <= rhs,
+                "gt": lhs > rhs,
+                "ge": lhs >= rhs,
+            }[instr.cond]
+        if taken:
+            self._branch_target = self.program.target(instr.target)
+            return "branch", None
+        return "ok", None
+
+    def _exec_msr(self, instr: MSR, cycle: int) -> Tuple[str, Optional[str]]:
+        if not self.coproc.can_transmit(self.core_id):
+            return "stall", None
+        value = self._read_scalar(instr.src, cycle)
+        if value is _STALL:
+            return "stall", None
+        entry = DynamicInstruction(
+            seq=self.coproc.next_seq(),
+            core=self.core_id,
+            kind=EntryKind.EMSIMD,
+            instr=instr,
+            vl_lanes=self.coproc.configured_vl(self.core_id),
+            transmit_cycle=cycle,
+            sysreg=instr.sysreg,
+            value=value,
+        )
+        self.coproc.transmit(entry)
+        self.retired_vector += 1
+        return "ok", None
+
+    def _exec_mrs(self, instr: MRS, cycle: int) -> Tuple[str, Optional[str]]:
+        if instr.sysreg is not SystemRegister.DECISION:
+            # Synchronising read: wait for older EM-SIMD writes to execute.
+            if self.coproc.pending_emsimd(self.core_id) > 0:
+                return "stall", "reconfig"
+        self.regs[instr.dst] = self.coproc.read_sysreg(self.core_id, instr.sysreg)
+        return "ok", None
+
+    def _exec_whilelt(self, instr: WhileLT, cycle: int) -> Tuple[str, Optional[str]]:
+        if not self.coproc.can_transmit(self.core_id):
+            return "stall", None
+        counter = self._read_scalar(instr.counter, cycle)
+        limit = self._read_scalar(instr.limit, cycle)
+        if counter is _STALL or limit is _STALL:
+            return "stall", None
+        active = max(0, min(self._elems(), int(limit) - int(counter)))
+        self.pregs[instr.pdst.name] = active
+        entry = DynamicInstruction(
+            seq=self.coproc.next_seq(),
+            core=self.core_id,
+            kind=EntryKind.COMPUTE,
+            instr=instr,
+            vl_lanes=0,  # predicate generation occupies no FP lanes
+            transmit_cycle=cycle,
+            writes_vreg=False,
+        )
+        self._last_writer[instr.pdst.name] = entry
+        self.coproc.transmit(entry)
+        self.retired_vector += 1
+        return "ok", None
+
+    def _exec_vop(self, instr: VOp, cycle: int) -> Tuple[str, Optional[str]]:
+        if not self.coproc.can_transmit(self.core_id):
+            return "stall", None
+        active = self._active(instr.pred)
+        operands = []
+        for src in instr.srcs:
+            value = self._vec_operand(src, active, cycle)
+            if value is _STALL:
+                return "stall", None
+            operands.append(value)
+        elems = self._elems()
+        width = max(elems, active)
+        # Merging predication: inactive lanes keep the old destination value
+        # (SVE /M), which reduction accumulators rely on in tail iterations.
+        old = self.vregs.get(instr.dst.name)
+        result = np.zeros(width, dtype=np.float32)
+        if old is not None:
+            span = min(len(old), width)
+            result[:span] = old[:span]
+        if active > 0:
+            result[:active] = _apply_vop(instr.op, operands)
+        self.vregs[instr.dst.name] = result
+        dep_names = tuple(
+            src.name for src in instr.srcs if isinstance(src, VReg)
+        ) + ((instr.pred.name,) if instr.pred else ())
+        entry = DynamicInstruction(
+            seq=self.coproc.next_seq(),
+            core=self.core_id,
+            kind=EntryKind.COMPUTE,
+            instr=instr,
+            vl_lanes=self.coproc.configured_vl(self.core_id),
+            transmit_cycle=cycle,
+            deps=self._deps_for(dep_names),
+            flops=instr.flops_per_element * active,
+            long_latency=instr.is_long_latency,
+            writes_vreg=True,
+        )
+        self._last_writer[instr.dst.name] = entry
+        self.coproc.transmit(entry)
+        self.retired_vector += 1
+        return "ok", None
+
+    def _exec_vload(self, instr: VLoad, cycle: int) -> Tuple[str, Optional[str]]:
+        if not self.coproc.can_transmit(self.core_id):
+            return "stall", None
+        index = self._read_scalar(instr.index, cycle)
+        if index is _STALL:
+            return "stall", None
+        index = int(index)
+        active = self._active(instr.pred)
+        stride = instr.stride
+        array = self.image.array(instr.array)
+        span = (active - 1) * stride + 1 if active > 0 else 0
+        if active > 0 and index + span > len(array):
+            raise SimulationError(
+                f"core {self.core_id}: load of {instr.array}"
+                f"[{index}:{index + span}:{stride}] overruns "
+                f"length {len(array)}"
+            )
+        elems = self._elems()
+        value = np.zeros(max(elems, active), dtype=np.float32)
+        if active > 0:
+            value[:active] = array[index : index + span : stride]
+        self.vregs[instr.dst.name] = value
+        dep_names = (instr.pred.name,) if instr.pred else ()
+        entry = DynamicInstruction(
+            seq=self.coproc.next_seq(),
+            core=self.core_id,
+            kind=EntryKind.LOAD,
+            instr=instr,
+            vl_lanes=self.coproc.configured_vl(self.core_id),
+            transmit_cycle=cycle,
+            deps=self._deps_for(dep_names),
+            addr=self.image.address_of(instr.array, index, instr.elem_bytes),
+            # A strided access touches every line in its span.
+            nbytes=span * instr.elem_bytes,
+            writes_vreg=True,
+        )
+        self._last_writer[instr.dst.name] = entry
+        self.coproc.transmit(entry)
+        self.retired_vector += 1
+        return "ok", None
+
+    def _exec_vstore(self, instr: VStore, cycle: int) -> Tuple[str, Optional[str]]:
+        if not self.coproc.can_transmit(self.core_id):
+            return "stall", None
+        index = self._read_scalar(instr.index, cycle)
+        if index is _STALL:
+            return "stall", None
+        index = int(index)
+        active = self._active(instr.pred)
+        array = self.image.array(instr.array)
+        if active > 0 and index + active > len(array):
+            raise SimulationError(
+                f"core {self.core_id}: store to {instr.array}"
+                f"[{index}:{index + active}] overruns length {len(array)}"
+            )
+        value = self._vec_operand(instr.src, active, cycle)
+        if value is _STALL:
+            return "stall", None
+        if active > 0:
+            array[index : index + active] = value[:active]
+        dep_names = (instr.src.name,) + ((instr.pred.name,) if instr.pred else ())
+        entry = DynamicInstruction(
+            seq=self.coproc.next_seq(),
+            core=self.core_id,
+            kind=EntryKind.STORE,
+            instr=instr,
+            vl_lanes=self.coproc.configured_vl(self.core_id),
+            transmit_cycle=cycle,
+            deps=self._deps_for(dep_names),
+            addr=self.image.address_of(instr.array, index, instr.elem_bytes),
+            nbytes=active * instr.elem_bytes,
+            writes_vreg=False,
+        )
+        self.coproc.transmit(entry)
+        self.retired_vector += 1
+        return "ok", None
+
+    def _exec_vhreduce(self, instr: VHReduce, cycle: int) -> Tuple[str, Optional[str]]:
+        if not self.coproc.can_transmit(self.core_id):
+            return "stall", None
+        active = self._active(instr.pred)
+        source = self._vec_operand(instr.src, active, cycle)
+        if active > 0:
+            if instr.op == "add":
+                value = float(np.add.reduce(source[:active], dtype=np.float64))
+            elif instr.op == "max":
+                value = float(np.max(source[:active]))
+            else:
+                value = float(np.min(source[:active]))
+        else:
+            value = 0.0
+        self.regs[instr.dst] = value
+        dep_names = (instr.src.name,) + ((instr.pred.name,) if instr.pred else ())
+        entry = DynamicInstruction(
+            seq=self.coproc.next_seq(),
+            core=self.core_id,
+            kind=EntryKind.COMPUTE,
+            instr=instr,
+            vl_lanes=self.coproc.configured_vl(self.core_id),
+            transmit_cycle=cycle,
+            deps=self._deps_for(dep_names),
+            flops=active,
+            writes_vreg=False,
+            scalar_dst=instr.dst,
+        )
+        self._pending_scalar[instr.dst] = entry
+        self.coproc.transmit(entry)
+        self.retired_vector += 1
+        return "ok", None
+
+
+def _apply_vop(op: str, operands: List[object]) -> np.ndarray:
+    """Element-wise semantics of a vector compute operation."""
+    if op == "add":
+        return operands[0] + operands[1]
+    if op == "sub":
+        return operands[0] - operands[1]
+    if op == "mul":
+        return operands[0] * operands[1]
+    if op == "div":
+        with np.errstate(divide="ignore", invalid="ignore"):
+            result = np.divide(operands[0], operands[1])
+        return np.nan_to_num(result, nan=0.0, posinf=0.0, neginf=0.0)
+    if op == "sqrt":
+        return np.sqrt(np.abs(operands[0]))
+    if op == "fma":
+        return operands[0] * operands[1] + operands[2]
+    if op == "min":
+        return np.minimum(operands[0], operands[1])
+    if op == "max":
+        return np.maximum(operands[0], operands[1])
+    if op == "abs":
+        return np.abs(operands[0])
+    if op == "neg":
+        return -operands[0]
+    if op in ("dup", "mov"):
+        return operands[0] + np.float32(0.0)
+    if op == "cmpgt":
+        return (operands[0] > operands[1]).astype(np.float32)
+    if op == "sel":
+        return np.where(operands[0] > 0, operands[1], operands[2]).astype(np.float32)
+    raise SimulationError(f"unknown vector op {op}")  # pragma: no cover

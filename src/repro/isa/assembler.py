@@ -1,0 +1,235 @@
+"""A textual assembler/disassembler for the mini ISA.
+
+The syntax mirrors the listings in the paper (Fig. 9).  One instruction
+per line; ``;`` or ``//`` start comments; labels end with ``:``.
+
+::
+
+    // the Fig. 9 retry loop
+    L1:
+        msr <VL>, X2
+        mrs X3, <status>
+        b.ne X3, #1, L1
+        halt
+
+Vector syntax::
+
+    whilelt p0, Xi, Xn
+    ld1w z1, [a, Xi], p0
+    fadd z3, z1, z2, p0
+    fmla z4, z1, z2, z3        // fused multiply-add (no predicate)
+    st1w z3, [c, Xi], p0
+    faddv Xr, z4
+    addvl Xi, Xi
+
+Operands: scalar registers are bare identifiers (``X0``, ``Xi``),
+immediates use ``#`` (``#3``, ``#0.5``), vector registers ``z<n>``,
+predicates ``p<n>``, system registers the paper's ``<...>`` notation.
+``msr <OI>, #(0.5, 0.25)`` writes an operational-intensity pair.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.common.errors import AssemblyError
+from repro.isa.instructions import (
+    MRS,
+    MSR,
+    AddVL,
+    Branch,
+    Halt,
+    Instruction,
+    ScalarOp,
+    VHReduce,
+    VLoad,
+    VOp,
+    VStore,
+    WhileLT,
+    BRANCH_CONDS,
+    HREDUCE_OPS,
+    SCALAR_OPS,
+    VECTOR_OPS,
+)
+from repro.isa.operands import Imm, PReg, ScalarRef, VReg
+from repro.isa.program import Program, ProgramBuilder
+from repro.isa.registers import OIValue, SystemRegister
+
+_SYSREGS = {reg.value: reg for reg in SystemRegister}
+_OI_PAIR = re.compile(r"^\(\s*([-\d.eE+]+)\s*,\s*([-\d.eE+]+)\s*\)$")
+_MEM_OPERAND = re.compile(r"^\[\s*(\w+)\s*,\s*(\w+)\s*\]$")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "//"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas not nested in brackets/parens."""
+    parts: List[str] = []
+    depth = 0
+    current = ""
+    for char in text:
+        if char in "([":
+            depth += 1
+        elif char in ")]":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+def _number(text: str) -> float:
+    value = float(text)
+    return int(value) if value.is_integer() else value
+
+
+def _imm(text: str) -> Imm:
+    body = text[1:].strip()
+    pair = _OI_PAIR.match(body)
+    if pair:
+        return Imm(OIValue(float(pair.group(1)), float(pair.group(2))))
+    try:
+        return Imm(_number(body))
+    except ValueError as exc:
+        raise AssemblyError(f"bad immediate {text!r}") from exc
+
+
+def _scalar_operand(text: str) -> object:
+    if text.startswith("#"):
+        return _imm(text)
+    return text
+
+
+def _vector_operand(text: str) -> object:
+    if text.startswith("#"):
+        return _imm(text)
+    if re.fullmatch(r"z\d+", text):
+        return VReg(text)
+    return ScalarRef(text)
+
+
+def _sysreg(text: str) -> SystemRegister:
+    try:
+        return _SYSREGS[text]
+    except KeyError as exc:
+        raise AssemblyError(f"unknown system register {text!r}") from exc
+
+
+def _pred(operands: List[str], min_args: int) -> Tuple[List[str], Optional[PReg]]:
+    """Pop an optional trailing predicate operand."""
+    if len(operands) > min_args and re.fullmatch(r"p\d+", operands[-1]):
+        return operands[:-1], PReg(operands[-1])
+    return operands, None
+
+
+def parse_line(line: str) -> Optional[Instruction]:
+    """Parse one line; returns None for blank lines (labels are handled by
+    :func:`assemble`)."""
+    text = _strip_comment(line)
+    if not text:
+        return None
+    mnemonic, _, rest = text.partition(" ")
+    mnemonic = mnemonic.lower()
+    operands = _split_operands(rest) if rest.strip() else []
+
+    if mnemonic == "halt":
+        return Halt()
+    if mnemonic == "addvl":
+        if len(operands) != 2:
+            raise AssemblyError(f"addvl takes 2 operands: {line!r}")
+        return AddVL(operands[0], operands[1])
+    if mnemonic == "b":
+        if len(operands) != 1:
+            raise AssemblyError(f"b takes a label: {line!r}")
+        return Branch("al", operands[0])
+    if mnemonic.startswith("b."):
+        cond = mnemonic[2:]
+        if cond not in BRANCH_CONDS:
+            raise AssemblyError(f"unknown condition {cond!r}")
+        if len(operands) != 3:
+            raise AssemblyError(f"b.{cond} takes src1, src2, label: {line!r}")
+        return Branch(cond, operands[2], _scalar_operand(operands[0]), _scalar_operand(operands[1]))
+    if mnemonic == "msr":
+        if len(operands) != 2:
+            raise AssemblyError(f"msr takes 2 operands: {line!r}")
+        return MSR(_sysreg(operands[0]), _scalar_operand(operands[1]))
+    if mnemonic == "mrs":
+        if len(operands) != 2:
+            raise AssemblyError(f"mrs takes 2 operands: {line!r}")
+        return MRS(operands[0], _sysreg(operands[1]))
+    if mnemonic == "whilelt":
+        if len(operands) != 3:
+            raise AssemblyError(f"whilelt takes 3 operands: {line!r}")
+        return WhileLT(PReg(operands[0]), operands[1], operands[2])
+    if mnemonic in ("ld1w", "st1w"):
+        operands, pred = _pred(operands, 2)
+        if len(operands) != 2:
+            raise AssemblyError(f"{mnemonic} takes reg, [array, index]: {line!r}")
+        memory = _MEM_OPERAND.match(operands[1])
+        if not memory:
+            raise AssemblyError(f"bad memory operand {operands[1]!r}")
+        array, index = memory.group(1), memory.group(2)
+        reg = VReg(operands[0])
+        if mnemonic == "ld1w":
+            return VLoad(reg, array, index, pred=pred)
+        return VStore(reg, array, index, pred=pred)
+    if mnemonic.startswith("f") and mnemonic.endswith("v") and mnemonic[1:-1] in HREDUCE_OPS:
+        operands, pred = _pred(operands, 2)
+        if len(operands) != 2:
+            raise AssemblyError(f"{mnemonic} takes Xdst, zsrc: {line!r}")
+        return VHReduce(mnemonic[1:-1], operands[0], VReg(operands[1]), pred=pred)
+    if mnemonic.startswith("f") and mnemonic[1:] in VECTOR_OPS:
+        op = mnemonic[1:]
+        operands, pred = _pred(operands, 2)
+        if len(operands) < 2:
+            raise AssemblyError(f"{mnemonic} needs a destination and sources")
+        dst = VReg(operands[0])
+        srcs = tuple(_vector_operand(op_text) for op_text in operands[1:])
+        return VOp(op, dst, srcs, pred=pred)
+    if mnemonic in SCALAR_OPS:
+        if len(operands) < 2:
+            raise AssemblyError(f"{mnemonic} needs a destination and sources")
+        return ScalarOp(
+            mnemonic, operands[0], tuple(_scalar_operand(t) for t in operands[1:])
+        )
+    raise AssemblyError(f"unknown mnemonic {mnemonic!r} in {line!r}")
+
+
+def assemble(source: str, name: str = "asm") -> Program:
+    """Assemble a multi-line source string into a :class:`Program`."""
+    builder = ProgramBuilder(name)
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        text = _strip_comment(raw)
+        if not text:
+            continue
+        while True:
+            match = re.match(r"^([A-Za-z_.][\w.]*):\s*(.*)$", text)
+            if not match:
+                break
+            builder.label(match.group(1))
+            text = match.group(2)
+        if not text:
+            continue
+        try:
+            instruction = parse_line(text)
+        except AssemblyError as exc:
+            raise AssemblyError(f"{name}:{lineno}: {exc}") from exc
+        if instruction is not None:
+            builder.emit(instruction)
+    return builder.build()
+
+
+def disassemble(program: Program) -> str:
+    """Round-trippable textual form of ``program``."""
+    return program.disassemble()

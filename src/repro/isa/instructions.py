@@ -1,0 +1,355 @@
+"""Instruction definitions for the scalar, SVE and EM-SIMD families.
+
+Instructions are immutable descriptions; *dynamic* state (captured scalar
+operands, issue/completion cycles) lives in the co-processor's dynamic
+instruction records, never here, so one :class:`Program` can be executed on
+many cores/policies concurrently.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.isa.operands import Imm, PReg, ScalarRef, VReg, VectorOperand
+from repro.isa.registers import SystemRegister
+
+#: Scalar ALU operations understood by the interpreter.
+SCALAR_OPS = frozenset(
+    {"mov", "add", "sub", "mul", "div", "rem", "and", "or", "min", "max", "lsl", "lsr"}
+)
+
+#: Branch conditions (``al`` = unconditional).
+BRANCH_CONDS = frozenset({"al", "eq", "ne", "lt", "le", "gt", "ge"})
+
+#: Vector compute operations -> (FLOPs per element, is long-latency).
+VECTOR_OPS = {
+    "add": (1, False),
+    "sub": (1, False),
+    "mul": (1, False),
+    "div": (1, True),
+    "sqrt": (1, True),
+    "fma": (2, False),
+    "min": (1, False),
+    "max": (1, False),
+    "abs": (1, False),
+    "neg": (1, False),
+    "dup": (0, False),
+    "mov": (0, False),
+    "cmpgt": (1, False),
+    "sel": (0, False),
+}
+
+#: Horizontal reductions.
+HREDUCE_OPS = frozenset({"add", "max", "min"})
+
+
+class InstructionClass(enum.Enum):
+    """The three instruction families of the paper's Table 2."""
+
+    SCALAR = "scalar"
+    SVE_COMPUTE = "sve-compute"
+    SVE_LDST = "sve-ldst"
+    EM_SIMD = "em-simd"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class; every instruction knows its family for ordering rules."""
+
+    @property
+    def iclass(self) -> InstructionClass:
+        raise NotImplementedError
+
+    @property
+    def is_vector(self) -> bool:
+        """True for instructions transmitted to the co-processor."""
+        return self.iclass in (
+            InstructionClass.SVE_COMPUTE,
+            InstructionClass.SVE_LDST,
+            InstructionClass.EM_SIMD,
+        )
+
+    def text(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.text()
+
+
+@dataclass(frozen=True)
+class Label(Instruction):
+    """A branch target; occupies no pipeline resources."""
+
+    name: str
+
+    @property
+    def iclass(self) -> InstructionClass:
+        return InstructionClass.SCALAR
+
+    def text(self) -> str:
+        return f"{self.name}:"
+
+
+@dataclass(frozen=True)
+class ScalarOp(Instruction):
+    """``dst = op(srcs...)`` on the scalar register file.
+
+    ``mov`` takes one source; every other op takes two.  Sources are scalar
+    register names or :class:`Imm`.
+    """
+
+    op: str
+    dst: str
+    srcs: Tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in SCALAR_OPS:
+            raise ValueError(f"unknown scalar op {self.op!r}")
+        expected = 1 if self.op == "mov" else 2
+        if len(self.srcs) != expected:
+            raise ValueError(f"{self.op} takes {expected} source(s)")
+
+    @property
+    def iclass(self) -> InstructionClass:
+        return InstructionClass.SCALAR
+
+    def text(self) -> str:
+        operands = ", ".join(str(s) for s in self.srcs)
+        return f"{self.op} {self.dst}, {operands}"
+
+
+@dataclass(frozen=True)
+class AddVL(Instruction):
+    """``dst = src + <VL>-in-elements`` (SVE ``incw``-style).
+
+    Reads the core's *current* configured vector length, converts it to
+    elements of ``elem_bytes`` and adds it to ``src``.  This is how
+    vectorized loops advance their induction variable under a vector length
+    that may change between iterations.
+    """
+
+    dst: str
+    src: str
+    elem_bytes: int = 4
+
+    @property
+    def iclass(self) -> InstructionClass:
+        return InstructionClass.SCALAR
+
+    def text(self) -> str:
+        return f"addvl {self.dst}, {self.src} (x{self.elem_bytes}B)"
+
+
+@dataclass(frozen=True)
+class Branch(Instruction):
+    """Conditional or unconditional branch to a label."""
+
+    cond: str
+    target: str
+    src1: Optional[object] = None
+    src2: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.cond not in BRANCH_CONDS:
+            raise ValueError(f"unknown branch condition {self.cond!r}")
+        if self.cond != "al" and (self.src1 is None or self.src2 is None):
+            raise ValueError("conditional branches need two comparands")
+
+    @property
+    def iclass(self) -> InstructionClass:
+        return InstructionClass.SCALAR
+
+    def text(self) -> str:
+        if self.cond == "al":
+            return f"b {self.target}"
+        return f"b.{self.cond} {self.src1}, {self.src2}, {self.target}"
+
+
+@dataclass(frozen=True)
+class Halt(Instruction):
+    """Terminate the workload on this core."""
+
+    @property
+    def iclass(self) -> InstructionClass:
+        return InstructionClass.SCALAR
+
+    def text(self) -> str:
+        return "halt"
+
+
+@dataclass(frozen=True)
+class MSR(Instruction):
+    """Write a dedicated EM-SIMD system register (paper §3.2).
+
+    ``MSR <OI>, X1`` publishes phase behaviour; ``MSR <VL>, X2`` requests a
+    vector-length reconfiguration, reporting success in ``<status>``.
+    """
+
+    sysreg: SystemRegister
+    src: object  # scalar register name or Imm
+
+    @property
+    def iclass(self) -> InstructionClass:
+        return InstructionClass.EM_SIMD
+
+    def text(self) -> str:
+        return f"msr {self.sysreg}, {self.src}"
+
+
+@dataclass(frozen=True)
+class MRS(Instruction):
+    """Read a dedicated EM-SIMD system register into a scalar register.
+
+    Reads of ``<decision>`` may be transmitted speculatively (§4.1.1); all
+    other reads synchronise with older EM-SIMD writes from the same core.
+    """
+
+    dst: str
+    sysreg: SystemRegister
+
+    @property
+    def iclass(self) -> InstructionClass:
+        return InstructionClass.EM_SIMD
+
+    def text(self) -> str:
+        return f"mrs {self.dst}, {self.sysreg}"
+
+
+@dataclass(frozen=True)
+class WhileLT(Instruction):
+    """``pdst = whilelt(counter, limit)`` — SVE tail predication.
+
+    Sets the governing predicate so that ``min(VL_elements, limit - counter)``
+    elements are active (zero when ``counter >= limit``).
+    """
+
+    pdst: PReg
+    counter: str
+    limit: str
+    elem_bytes: int = 4
+
+    @property
+    def iclass(self) -> InstructionClass:
+        return InstructionClass.SVE_COMPUTE
+
+    def text(self) -> str:
+        return f"whilelt {self.pdst}, {self.counter}, {self.limit}"
+
+
+@dataclass(frozen=True)
+class VOp(Instruction):
+    """A vector compute instruction (``fadd``, ``fmul``, ``fmla``...).
+
+    Sources may be vector registers, scalar-register broadcasts or
+    immediates.  ``fma`` computes ``srcs[0] * srcs[1] + srcs[2]``;
+    ``sel`` computes ``where(srcs[0] > 0, srcs[1], srcs[2])``.
+    """
+
+    op: str
+    dst: VReg
+    srcs: Tuple[VectorOperand, ...]
+    pred: Optional[PReg] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in VECTOR_OPS:
+            raise ValueError(f"unknown vector op {self.op!r}")
+        arity = {"dup": 1, "mov": 1, "abs": 1, "neg": 1, "sqrt": 1, "fma": 3, "sel": 3}
+        expected = arity.get(self.op, 2)
+        if len(self.srcs) != expected:
+            raise ValueError(f"{self.op} takes {expected} source(s)")
+
+    @property
+    def iclass(self) -> InstructionClass:
+        return InstructionClass.SVE_COMPUTE
+
+    @property
+    def flops_per_element(self) -> int:
+        return VECTOR_OPS[self.op][0]
+
+    @property
+    def is_long_latency(self) -> bool:
+        return VECTOR_OPS[self.op][1]
+
+    def text(self) -> str:
+        operands = ", ".join(str(s) for s in self.srcs)
+        pred = f" ({self.pred})" if self.pred else ""
+        return f"f{self.op} {self.dst}, {operands}{pred}"
+
+
+@dataclass(frozen=True)
+class VLoad(Instruction):
+    """Vector load: ``dst = array[index : index + VL_elems*stride : stride]``.
+
+    ``stride = 1`` is the contiguous common case; larger strides model
+    interleaved layouts and touch proportionally more cache lines.
+    """
+
+    dst: VReg
+    array: str
+    index: str  # scalar register holding the element index
+    pred: Optional[PReg] = None
+    elem_bytes: int = 4
+    stride: int = 1
+
+    @property
+    def iclass(self) -> InstructionClass:
+        return InstructionClass.SVE_LDST
+
+    @property
+    def is_load(self) -> bool:
+        return True
+
+    def text(self) -> str:
+        pred = f" ({self.pred})" if self.pred else ""
+        stride = f", x{self.stride}" if self.stride != 1 else ""
+        return f"ld1w {self.dst}, [{self.array}, {self.index}{stride}]{pred}"
+
+
+@dataclass(frozen=True)
+class VStore(Instruction):
+    """Unit-stride vector store: ``array[index : index + VL_elems] = src``."""
+
+    src: VReg
+    array: str
+    index: str
+    pred: Optional[PReg] = None
+    elem_bytes: int = 4
+
+    @property
+    def iclass(self) -> InstructionClass:
+        return InstructionClass.SVE_LDST
+
+    @property
+    def is_load(self) -> bool:
+        return False
+
+    def text(self) -> str:
+        pred = f" ({self.pred})" if self.pred else ""
+        return f"st1w {self.src}, [{self.array}, {self.index}]{pred}"
+
+
+@dataclass(frozen=True)
+class VHReduce(Instruction):
+    """Horizontal reduction of a vector register into a scalar register.
+
+    Used when a vector length change forces a partial reduction to be
+    spliced (paper §6.4) and at loop exits.
+    """
+
+    op: str
+    dst: str  # scalar register
+    src: VReg
+    pred: Optional[PReg] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in HREDUCE_OPS:
+            raise ValueError(f"unknown reduction op {self.op!r}")
+
+    @property
+    def iclass(self) -> InstructionClass:
+        return InstructionClass.SVE_COMPUTE
+
+    def text(self) -> str:
+        return f"f{self.op}v {self.dst}, {self.src}"

@@ -1,0 +1,53 @@
+"""Bandwidth regulation for shared memory levels.
+
+Each cache level and the DRAM channel can move a fixed number of bytes per
+cycle.  :class:`BandwidthRegulator` serialises requests through that budget:
+a request arriving while the channel is busy queues behind earlier traffic,
+which is exactly how co-running workloads steal bandwidth from each other.
+"""
+
+from __future__ import annotations
+
+
+class BandwidthRegulator:
+    """A shared channel moving ``bytes_per_cycle`` bytes per cycle."""
+
+    def __init__(self, name: str, bytes_per_cycle: float) -> None:
+        if bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+        self.name = name
+        self.bytes_per_cycle = float(bytes_per_cycle)
+        self._next_free = 0.0
+        self.bytes_served = 0
+        self.requests_served = 0
+
+    def serve(self, nbytes: int, earliest_cycle: float) -> float:
+        """Schedule ``nbytes`` no earlier than ``earliest_cycle``.
+
+        Returns the (fractional) cycle at which the last byte has moved.
+        """
+        if nbytes <= 0:
+            return earliest_cycle
+        start = max(self._next_free, float(earliest_cycle))
+        finish = start + nbytes / self.bytes_per_cycle
+        self._next_free = finish
+        self.bytes_served += nbytes
+        self.requests_served += 1
+        return finish
+
+    def busy_until(self) -> float:
+        """Cycle at which all currently queued traffic completes."""
+        return self._next_free
+
+    def utilization(self, total_cycles: int) -> float:
+        """Fraction of the channel's capacity used over ``total_cycles``."""
+        if total_cycles <= 0:
+            return 0.0
+        capacity = self.bytes_per_cycle * total_cycles
+        return min(1.0, self.bytes_served / capacity)
+
+    def reset(self) -> None:
+        """Forget all queued traffic and statistics."""
+        self._next_free = 0.0
+        self.bytes_served = 0
+        self.requests_served = 0

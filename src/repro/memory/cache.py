@@ -1,0 +1,104 @@
+"""A set-associative, write-back, write-allocate cache with LRU replacement.
+
+The cache tracks tags only (data values live in :class:`MemoryImage`); its
+job is to decide hit/miss per line and to surface dirty-eviction traffic to
+the next level.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/writeback counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """Tag store for one cache level.
+
+    Each set is an :class:`OrderedDict` mapping line address -> dirty flag,
+    ordered least-recently-used first.
+    """
+
+    def __init__(self, name: str, config: CacheConfig) -> None:
+        self.name = name
+        self.config = config
+        self.stats = CacheStats()
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+
+    def _set_for(self, line_addr: int) -> "OrderedDict[int, bool]":
+        return self._sets[(line_addr // self.config.line_bytes) % self.config.num_sets]
+
+    def line_of(self, addr: int) -> int:
+        """The line-aligned address containing byte ``addr``."""
+        return addr - (addr % self.config.line_bytes)
+
+    def lines_spanning(self, addr: int, nbytes: int) -> List[int]:
+        """Line addresses touched by ``[addr, addr + nbytes)``."""
+        if nbytes <= 0:
+            return []
+        first = self.line_of(addr)
+        last = self.line_of(addr + nbytes - 1)
+        step = self.config.line_bytes
+        return list(range(first, last + step, step))
+
+    def probe(self, line_addr: int) -> bool:
+        """Check residency without updating LRU state or stats."""
+        return line_addr in self._set_for(line_addr)
+
+    def access(self, line_addr: int, is_store: bool) -> bool:
+        """Look up one line; returns True on hit and updates LRU/dirty."""
+        target_set = self._set_for(line_addr)
+        if line_addr in target_set:
+            dirty = target_set.pop(line_addr)
+            target_set[line_addr] = dirty or is_store
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, line_addr: int, is_store: bool) -> Optional[int]:
+        """Install a line after a miss.
+
+        Returns the address of a *dirty* victim line that must be written
+        back to the next level, or None when no writeback is needed.
+        """
+        target_set = self._set_for(line_addr)
+        victim: Optional[int] = None
+        if line_addr not in target_set and len(target_set) >= self.config.ways:
+            evicted_addr, evicted_dirty = target_set.popitem(last=False)
+            if evicted_dirty:
+                self.stats.writebacks += 1
+                victim = evicted_addr
+        target_set.pop(line_addr, None)
+        target_set[line_addr] = is_store
+        return victim
+
+    def invalidate_all(self) -> None:
+        """Drop every line (dirty data is discarded — test helper only)."""
+        for target_set in self._sets:
+            target_set.clear()
+
+    def resident_lines(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(s) for s in self._sets)

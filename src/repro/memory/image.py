@@ -1,0 +1,80 @@
+"""Functional memory: named numpy arrays with simulated addresses.
+
+Each workload owns one :class:`MemoryImage`.  Images for different cores use
+disjoint simulated address ranges, so co-running workloads never alias but
+do contend for the shared Vec Cache / L2 / DRAM resources.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+
+#: Address-space stride between cores' images (1 GiB).
+CORE_ADDRESS_STRIDE = 1 << 30
+
+#: Alignment of every array base (one typical cache line).
+ARRAY_ALIGN = 64
+
+
+class MemoryImage:
+    """Named float32 arrays plus a simulated byte-address layout."""
+
+    def __init__(self, base_address: int = 0) -> None:
+        self.base_address = base_address
+        self._arrays: Dict[str, np.ndarray] = {}
+        self._bases: Dict[str, int] = {}
+        self._cursor = base_address
+
+    @classmethod
+    def for_core(cls, core_id: int) -> "MemoryImage":
+        """An image placed in core ``core_id``'s private address range."""
+        return cls(base_address=core_id * CORE_ADDRESS_STRIDE)
+
+    def add_array(self, name: str, data: np.ndarray) -> np.ndarray:
+        """Register ``data`` (converted to float32) under ``name``."""
+        if name in self._arrays:
+            raise SimulationError(f"array {name!r} already registered")
+        array = np.ascontiguousarray(data, dtype=np.float32)
+        self._arrays[name] = array
+        self._bases[name] = self._cursor
+        size = array.nbytes
+        self._cursor += size + (-size % ARRAY_ALIGN)
+        return array
+
+    def zeros(self, name: str, length: int) -> np.ndarray:
+        """Register a zero-filled array of ``length`` float32 elements."""
+        return self.add_array(name, np.zeros(length, dtype=np.float32))
+
+    def array(self, name: str) -> np.ndarray:
+        """The registered array called ``name``."""
+        try:
+            return self._arrays[name]
+        except KeyError as exc:
+            raise SimulationError(f"unknown array {name!r}") from exc
+
+    def address_of(self, name: str, elem_index: int, elem_bytes: int = 4) -> int:
+        """Simulated byte address of ``name[elem_index]``."""
+        return self._bases[name] + elem_index * elem_bytes
+
+    def footprint_bytes(self) -> int:
+        """Total bytes occupied by all registered arrays."""
+        return sum(array.nbytes for array in self._arrays.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def __iter__(self) -> Iterator[Tuple[str, np.ndarray]]:
+        return iter(self._arrays.items())
+
+    def copy(self, base_address: int = None) -> "MemoryImage":
+        """Deep copy, optionally relocated to ``base_address``."""
+        clone = MemoryImage(
+            self.base_address if base_address is None else base_address
+        )
+        for name, array in self._arrays.items():
+            clone.add_array(name, array.copy())
+        return clone

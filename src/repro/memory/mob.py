@@ -1,0 +1,71 @@
+"""Memory Ordering Buffer (paper §4.1.2).
+
+The MOB tracks byte regions with at least one incomplete SVE ld/st, so a
+younger access that overlaps an older incomplete *store* is delayed until
+that store completes.  Functional correctness in this model is guaranteed by
+in-order per-core execution; the MOB contributes the *timing* of
+address-overlap hazards and is exercised directly by the ordering tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass
+class _Entry:
+    start: int
+    end: int  # exclusive
+    complete_cycle: float
+    is_store: bool
+
+
+class MemoryOrderingBuffer:
+    """Tracks in-flight vector memory regions for one core."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("MOB capacity must be positive")
+        self.capacity = capacity
+        self._entries: List[_Entry] = []
+        self.conflicts_detected = 0
+
+    def _prune(self, cycle: float) -> None:
+        self._entries = [e for e in self._entries if e.complete_cycle > cycle]
+
+    def earliest_start(self, addr: int, nbytes: int, cycle: float, is_store: bool) -> float:
+        """Earliest cycle a new access to ``[addr, addr+nbytes)`` may begin.
+
+        Ordering rules: any access must wait for older overlapping *stores*;
+        a store must additionally wait for older overlapping *loads*
+        (write-after-read).
+        """
+        self._prune(cycle)
+        start = float(cycle)
+        end = addr + nbytes
+        for entry in self._entries:
+            if entry.end <= addr or entry.start >= end:
+                continue
+            if entry.is_store or is_store:
+                if entry.complete_cycle > start:
+                    start = entry.complete_cycle
+                    self.conflicts_detected += 1
+        return start
+
+    def track(self, addr: int, nbytes: int, complete_cycle: float, is_store: bool) -> None:
+        """Record an access that will complete at ``complete_cycle``."""
+        self._prune(complete_cycle - 1e9)  # cheap opportunistic prune
+        if len(self._entries) >= self.capacity:
+            # A full MOB stalls allocation; model by dropping the oldest
+            # completed entries first, then the oldest outstanding one.
+            self._entries.sort(key=lambda e: e.complete_cycle)
+            self._entries.pop(0)
+        self._entries.append(
+            _Entry(start=addr, end=addr + nbytes, complete_cycle=complete_cycle, is_store=is_store)
+        )
+
+    def outstanding(self, cycle: float) -> int:
+        """Number of regions still incomplete at ``cycle``."""
+        self._prune(cycle)
+        return len(self._entries)

@@ -1,0 +1,66 @@
+"""Random workload generation for fuzzing the sharing policies.
+
+``random_workload`` draws a multi-phase kernel with realistic operational
+intensities (the Table 3 range) and residency classes; ``random_pair``
+draws a `<memory, compute>` pair.  Deterministic given the seed — used by
+the fuzz tests to check the paper's invariants (correct results, bounded
+core0 impact, lane accounting) on workloads nobody hand-picked.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.compiler.ir import Kernel, Loop
+from repro.workloads.synth import (
+    RESIDENT_TRIP,
+    STREAMING_TRIP,
+    resident_repeats,
+    solve_counts,
+    synth_loop,
+)
+
+#: Table 3's observed intensity ranges per class.
+MEMORY_OI_RANGE = (0.06, 0.32)
+COMPUTE_OI_RANGE = (0.45, 1.9)
+
+
+def random_phase(
+    rng: random.Random, name: str, streaming: bool, scale: float = 0.3
+) -> Loop:
+    """One random phase of the requested residency class."""
+    if streaming:
+        oi = rng.uniform(*MEMORY_OI_RANGE)
+        counts = solve_counts(round(oi, 3), min_footprint=3)
+        return synth_loop(name, counts, trip_count=STREAMING_TRIP, repeats=1)
+    oi = rng.uniform(*COMPUTE_OI_RANGE)
+    counts = solve_counts(round(oi, 3))
+    repeats = resident_repeats(counts.comp, RESIDENT_TRIP, scale)
+    return synth_loop(name, counts, trip_count=RESIDENT_TRIP, repeats=repeats)
+
+
+def random_workload(
+    seed: int, streaming: bool, phases: int = None, scale: float = 0.3
+) -> Kernel:
+    """A random single-class workload with 1-3 phases."""
+    rng = random.Random(seed)
+    count = phases if phases is not None else rng.randint(1, 3)
+    loops = tuple(
+        random_phase(rng, f"fuzz{seed}_{index}", streaming, scale)
+        for index in range(count)
+    )
+    array_length = max(loop.trip_count for loop in loops) + 2
+    return Kernel(
+        name=f"fuzz.{'mem' if streaming else 'comp'}{seed}",
+        array_length=array_length,
+        loops=loops,
+    )
+
+
+def random_pair(seed: int, scale: float = 0.3) -> Tuple[Kernel, Kernel]:
+    """A random ``<memory, compute>`` co-running pair."""
+    return (
+        random_workload(seed * 2 + 1, streaming=True, scale=scale),
+        random_workload(seed * 2 + 2, streaming=False, scale=scale),
+    )

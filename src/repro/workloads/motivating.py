@@ -1,0 +1,63 @@
+"""The §2 motivating example (Fig. 2): 654.rom_s + 621.wrf_s.
+
+``WL#0`` is two memory-intensive loops: the rhs3d i-loop (low intensity,
+saturates at 8 lanes under the roofline) followed by the rho_eos i-loop
+(moderate intensity, saturates at 12 lanes).  ``WL#1`` is the wsm5 k-loop:
+a compute-intensive stencil with data reuse that benefits all the way to
+32 lanes.  Under the elastic policy the lane plans replay the paper's
+Fig. 8 schedule: 8 -> 12 lanes for WL#0 and 24 -> 20 -> 32 for WL#1.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.compiler.ir import Kernel
+from repro.workloads.synth import (
+    RESIDENT_TRIP,
+    STREAMING_TRIP,
+    solve_counts,
+    synth_loop,
+)
+
+
+def motivating_wl0(scale: float = 1.0) -> Kernel:
+    """WL#0: 654.rom_s — rhs3d (phase 1) then rho_eos (phase 2)."""
+    repeats = max(1, round(1 * scale))
+    phase1 = synth_loop(
+        "rom_rhs3d",
+        solve_counts(0.083, min_footprint=3),
+        trip_count=STREAMING_TRIP,
+        repeats=repeats,
+    )
+    phase2 = synth_loop(
+        "rom_rho_eos",
+        solve_counts(0.375, min_footprint=3),
+        trip_count=STREAMING_TRIP,
+        repeats=repeats,
+    )
+    return Kernel(
+        name="motivating.WL0",
+        array_length=STREAMING_TRIP + 2,
+        loops=(phase1, phase2),
+    )
+
+
+def motivating_wl1(scale: float = 1.0) -> Kernel:
+    """WL#1: 621.wrf_s — the wsm5 k-loop (compute-intensive stencil)."""
+    loop = synth_loop(
+        "wrf_wsm5",
+        solve_counts(1.0, oi_issue=0.6),
+        trip_count=RESIDENT_TRIP,
+        repeats=max(1, round(350 * scale)),
+    )
+    return Kernel(
+        name="motivating.WL1",
+        array_length=RESIDENT_TRIP + 2,
+        loops=(loop,),
+    )
+
+
+def motivating_pair(scale: float = 1.0) -> Tuple[Kernel, Kernel]:
+    """(WL#0, WL#1) — run WL#0 on Core0 and WL#1 on Core1."""
+    return motivating_wl0(scale), motivating_wl1(scale)

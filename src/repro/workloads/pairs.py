@@ -1,0 +1,108 @@
+"""Co-running workload pairs and four-core groups (paper §7.1/§7.6).
+
+The 25 two-core pairs come from Fig. 10's x-axis: 16 SPEC pairs and 9
+OpenCV pairs, written ``<mem>+<comp>`` with the memory-intensive workload
+on Core0 and the compute-intensive one on Core1.  The four four-core
+groups come from Fig. 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.config import experiment_config
+from repro.compiler.ir import Kernel
+from repro.compiler.pipeline import CompileOptions, build_image, compile_kernel
+from repro.core.machine import Job
+from repro.isa.program import Program
+from repro.workloads.opencv import opencv_workload
+from repro.workloads.spec import spec_workload
+
+
+@dataclass(frozen=True)
+class CoRunPair:
+    """One two-core co-run: workload ids within a suite."""
+
+    suite: str  # "spec" | "opencv"
+    core0: int  # memory-intensive side
+    core1: int  # compute-intensive side
+
+    @property
+    def label(self) -> str:
+        return f"{self.core0}+{self.core1}"
+
+    def __str__(self) -> str:
+        return f"{self.suite}:{self.label}"
+
+
+#: Fig. 10 x-axis, SPEC section (memory on Core0, compute on Core1).
+SPEC_PAIRS: Tuple[CoRunPair, ...] = tuple(
+    CoRunPair("spec", a, b)
+    for a, b in (
+        (1, 13), (2, 14), (3, 4), (5, 15), (6, 16), (8, 17), (7, 18),
+        (20, 9), (21, 17), (20, 17), (10, 16), (11, 14), (22, 15),
+        (4, 14), (9, 13), (12, 19),
+    )
+)
+
+#: Fig. 10 x-axis, OpenCV section.
+OPENCV_PAIRS: Tuple[CoRunPair, ...] = tuple(
+    CoRunPair("opencv", a, b)
+    for a, b in (
+        (6, 1), (2, 1), (7, 3), (8, 3), (9, 4), (10, 4), (11, 5),
+        (12, 5), (11, 1),
+    )
+)
+
+#: Fig. 16's four-core groups (SPEC workload ids for Core0..Core3).
+FOUR_CORE_GROUPS: Tuple[Tuple[int, int, int, int], ...] = (
+    (15, 6, 15, 16),
+    (21, 20, 17, 17),
+    (10, 22, 16, 15),
+    (7, 19, 20, 14),
+)
+
+
+def all_pairs() -> List[CoRunPair]:
+    """All 25 evaluated pairs, in the paper's plotting order."""
+    return list(SPEC_PAIRS) + list(OPENCV_PAIRS)
+
+
+@lru_cache(maxsize=None)
+def _compiled(suite: str, workload_id: int, scale: float) -> Tuple[Kernel, Program]:
+    if suite == "spec":
+        kernel = spec_workload(workload_id, scale=scale)
+    elif suite == "opencv":
+        kernel = opencv_workload(workload_id, scale=scale)
+    else:
+        raise KeyError(f"unknown suite {suite!r}")
+    options = CompileOptions(memory=experiment_config().memory)
+    return kernel, compile_kernel(kernel, options)
+
+
+def workload_job(
+    suite: str, workload_id: int, core_id: int, scale: float = 1.0
+) -> Job:
+    """Compile (cached) and instantiate one workload for ``core_id``."""
+    kernel, program = _compiled(suite, workload_id, scale)
+    return Job(program=program, image=build_image(kernel, core_id=core_id))
+
+
+def jobs_for_pair(pair: CoRunPair, scale: float = 1.0) -> List[Optional[Job]]:
+    """Jobs for the two cores of ``pair`` (fresh images each call)."""
+    return [
+        workload_job(pair.suite, pair.core0, core_id=0, scale=scale),
+        workload_job(pair.suite, pair.core1, core_id=1, scale=scale),
+    ]
+
+
+def jobs_for_group(
+    group: Sequence[int], scale: float = 1.0, suite: str = "spec"
+) -> List[Optional[Job]]:
+    """Jobs for a four-core group (Fig. 16)."""
+    return [
+        workload_job(suite, workload_id, core_id=core, scale=scale)
+        for core, workload_id in enumerate(group)
+    ]

@@ -1,0 +1,193 @@
+"""Synthetic loop construction calibrated to a target operational intensity.
+
+SPEC CPU2017 sources cannot be reproduced from the paper, but the sharing
+policies only observe a phase through its instruction mix, operational
+intensity and residency class.  ``solve_counts`` finds an instruction mix
+``(comp, reads, extra stencil loads, stores)`` whose Eq. 5 analysis matches
+the paper's Table 3 value, and ``synth_loop`` emits a loop body with that
+exact mix (validated by the workload tests against ``analyze_loop``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.errors import CompilationError
+from repro.compiler.ir import Assign, BinOp, Const, Expr, Load, Loop, Statement
+
+#: Keep comp + loads well under the 32 architectural vector registers.
+MAX_BODY_NODES = 27
+
+#: Default element trip counts per residency class (see experiment_config):
+#: streaming footprints exceed the scaled L2; resident footprints fit the
+#: scaled Vec Cache.
+STREAMING_TRIP = 16384
+RESIDENT_TRIP = 1024
+
+#: Phases with oi_mem below this are treated as memory-intensive.
+STREAMING_OI_THRESHOLD = 0.4
+
+#: Target duration (cycles at 16 lanes, scale 1.0) of a compute phase —
+#: compute-intensive co-runners outlive their memory-intensive partners,
+#: like the paper's motivating example (WL#1 runs ~2.7x longer than WL#0).
+COMPUTE_TARGET_CYCLES = 30000
+
+
+def resident_repeats(comp_insts: int, trip_count: int, scale: float) -> int:
+    """Repeat count giving a resident phase its target duration."""
+    iters_per_pass = max(1, trip_count // 64)  # 64 elements at 16 lanes
+    cycles_per_pass = iters_per_pass * max(comp_insts / 2.0, 2.0)
+    return max(1, round(scale * COMPUTE_TARGET_CYCLES / cycles_per_pass))
+
+
+@dataclass(frozen=True)
+class Counts:
+    """A loop-body instruction mix."""
+
+    comp: int  # vector compute instructions per iteration
+    reads: int  # distinct arrays loaded
+    extra_loads: int  # additional shifted loads of already-read arrays
+    stores: int  # arrays stored
+
+    def __post_init__(self) -> None:
+        if self.comp < 1 or self.reads < 1 or self.stores < 1 or self.extra_loads < 0:
+            raise CompilationError("counts must be positive (stores >= 1)")
+        if self.extra_loads > self.reads:
+            raise CompilationError("at most one extra shifted load per array")
+        if self.comp < self.loads - 1:
+            raise CompilationError(
+                "need at least loads-1 compute nodes to combine operands"
+            )
+        if self.comp + self.loads > MAX_BODY_NODES:
+            raise CompilationError("body exceeds the vector register budget")
+
+    @property
+    def loads(self) -> int:
+        return self.reads + self.extra_loads
+
+    @property
+    def footprint_arrays(self) -> int:
+        return self.reads + self.stores
+
+    @property
+    def oi_mem(self) -> float:
+        return self.comp / (4.0 * self.footprint_arrays)
+
+    @property
+    def oi_issue(self) -> float:
+        return self.comp / (4.0 * (self.loads + self.stores))
+
+
+def solve_counts(
+    oi_mem: float,
+    oi_issue: Optional[float] = None,
+    tolerance: float = 0.12,
+    min_footprint: int = 1,
+) -> Counts:
+    """Find the instruction mix best matching the target intensities.
+
+    ``oi_issue`` defaults to ``oi_mem`` (no data reuse, §6.3).  Raises when
+    no mix within ``tolerance`` relative error exists under the register
+    budget.
+    """
+    if oi_mem <= 0:
+        raise CompilationError("target oi_mem must be positive")
+    target_issue = oi_issue if oi_issue is not None else oi_mem
+    best: Optional[Tuple[float, Counts]] = None
+    for reads in range(1, 8):
+        for stores in range(1, 4):
+            if reads + stores < min_footprint:
+                continue
+            for extra in range(0, reads + 1):
+                comp_exact = oi_mem * 4.0 * (reads + stores)
+                for comp in {int(comp_exact), int(comp_exact) + 1}:
+                    if comp < max(1, reads + extra - 1):
+                        continue
+                    if comp + reads + extra > MAX_BODY_NODES:
+                        continue
+                    candidate = Counts(comp, reads, extra, stores)
+                    err = abs(candidate.oi_mem - oi_mem) / oi_mem + abs(
+                        candidate.oi_issue - target_issue
+                    ) / max(target_issue, 1e-9)
+                    if best is None or err < best[0]:
+                        best = (err, candidate)
+    if best is None or best[0] > 2 * tolerance:
+        raise CompilationError(
+            f"no instruction mix within tolerance for oi_mem={oi_mem}, "
+            f"oi_issue={target_issue}"
+        )
+    return best[1]
+
+
+def synth_loop(
+    name: str,
+    counts: Counts,
+    trip_count: int,
+    repeats: int = 1,
+) -> Loop:
+    """Emit a loop with exactly ``counts`` instructions per iteration.
+
+    The body combines all loads in a balanced tree (good ILP), pads with
+    per-store chains of uniquely-constanted operations (so CSE cannot
+    collapse them), and stores ``counts.stores`` distinct results.
+    """
+    operands: List[Expr] = [Load(f"{name}_in{i}") for i in range(counts.reads)]
+    operands += [
+        Load(f"{name}_in{i}", shift=1) for i in range(counts.extra_loads)
+    ]
+
+    # Balanced combine tree: len(operands) - 1 compute nodes.
+    ops_cycle = ("add", "max", "min")
+    level = 0
+    while len(operands) > 1:
+        combined: List[Expr] = []
+        op = ops_cycle[level % len(ops_cycle)]
+        for index in range(0, len(operands) - 1, 2):
+            combined.append(BinOp(op, operands[index], operands[index + 1]))
+        if len(operands) % 2:
+            combined.append(operands[-1])
+        operands = combined
+        level += 1
+    root = operands[0]
+
+    budget = counts.comp - (counts.loads - 1)
+    per_store = [budget // counts.stores] * counts.stores
+    for index in range(budget % counts.stores):
+        per_store[index] += 1
+
+    body: List[Statement] = []
+    for store_index in range(counts.stores):
+        value = root
+        for link in range(per_store[store_index]):
+            constant = 1.0 + 0.001 * (store_index * 37 + link + 1)
+            op = "mul" if link % 2 == 0 else "add"
+            value = BinOp(op, value, Const(round(constant, 6)))
+        body.append(Assign(f"{name}_out{store_index}", value))
+    return Loop(name=name, trip_count=trip_count, body=tuple(body), repeats=repeats)
+
+
+def synth_phase(
+    name: str,
+    oi_mem: float,
+    oi_issue: Optional[float] = None,
+    streaming: Optional[bool] = None,
+    scale: float = 1.0,
+) -> Loop:
+    """A named phase calibrated to the paper's Table 3 intensity.
+
+    ``streaming`` defaults by intensity class; ``scale`` multiplies the
+    repeat count (for quick test runs versus full benchmark runs).
+    """
+    if streaming is None:
+        streaming = oi_mem < STREAMING_OI_THRESHOLD
+    # Streaming phases need a footprint larger than the scaled L2 (three
+    # arrays at the streaming trip count), so they really hit DRAM.
+    counts = solve_counts(oi_mem, oi_issue, min_footprint=3 if streaming else 1)
+    if streaming:
+        trip = STREAMING_TRIP
+        repeats = max(1, round(1 * scale))
+    else:
+        trip = RESIDENT_TRIP
+        repeats = resident_repeats(counts.comp, trip, scale)
+    return synth_loop(name, counts, trip_count=trip, repeats=repeats)

@@ -1,0 +1,71 @@
+"""Event-based energy accounting."""
+
+import pytest
+
+from repro import OCCAMY, PRIVATE, run_policy
+from repro.analysis.energy import EnergyCoefficients, compare_energy, energy_report
+from tests.conftest import compiled_job, make_axpy, make_two_phase
+
+
+@pytest.fixture(scope="module")
+def result(request):
+    from repro import experiment_config
+
+    return run_policy(
+        experiment_config(), OCCAMY, [compiled_job(make_two_phase()), None]
+    )
+
+
+class TestEnergyReport:
+    def test_components_present(self, result):
+        report = energy_report(result)
+        assert set(report.components_uj) == {
+            "simd_exe_units",
+            "register_file",
+            "vec_cache",
+            "l2",
+            "dram",
+            "leakage",
+        }
+        assert report.total_uj > 0
+
+    def test_runtime_and_edp(self, result):
+        report = energy_report(result)
+        assert report.runtime_us == pytest.approx(
+            result.total_cycles / 2000.0, rel=1e-6
+        )
+        assert report.edp == pytest.approx(report.total_uj * report.runtime_us)
+
+    def test_coefficients_scale_linearly(self, result):
+        base = energy_report(result)
+        doubled = energy_report(
+            result, EnergyCoefficients(compute_per_lane_op=4.0)
+        )
+        assert doubled.components_uj["simd_exe_units"] == pytest.approx(
+            2 * base.components_uj["simd_exe_units"]
+        )
+        assert doubled.components_uj["dram"] == pytest.approx(
+            base.components_uj["dram"]
+        )
+
+    def test_rows_sorted(self, result):
+        rows = energy_report(result).rows()
+        values = [float(value) for _name, value in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_more_cycles_more_leakage(self):
+        from repro import experiment_config
+
+        config = experiment_config()
+        short = run_policy(config, OCCAMY, [compiled_job(make_axpy(256)), None])
+        long = run_policy(
+            config, OCCAMY, [compiled_job(make_axpy(256, repeats=8)), None]
+        )
+        assert (
+            energy_report(long).components_uj["leakage"]
+            > energy_report(short).components_uj["leakage"]
+        )
+
+    def test_compare_energy(self, result):
+        reports = compare_energy({"occamy": result})
+        assert reports["occamy"].policy_key == "occamy"

@@ -1,0 +1,91 @@
+"""SVG plot generation (structure validated with ElementTree)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.plots import (
+    PALETTE,
+    SvgCanvas,
+    bar_chart_svg,
+    lane_timeline_svg,
+    series_svg,
+    write_svg,
+)
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestCanvas:
+    def test_valid_xml(self):
+        canvas = SvgCanvas(100, 50, title="t")
+        canvas.line(0, 0, 10, 10)
+        canvas.rect(1, 1, 5, 5, "#fff")
+        canvas.text(2, 2, "<escaped & safe>")
+        root = parse(canvas.render())
+        assert root.tag == f"{SVG_NS}svg"
+        assert root.get("width") == "100"
+
+    def test_text_is_escaped(self):
+        canvas = SvgCanvas(100, 50)
+        canvas.text(0, 0, "<script>")
+        assert "<script>" not in canvas.render()
+
+
+class TestCharts:
+    def test_lane_timeline(self):
+        svg = lane_timeline_svg(
+            {"occamy": [(0, 24), (500, 32)], "private": [(0, 16)]},
+            total_cycles=1000,
+        )
+        root = parse(svg)
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 2
+        texts = [t.text for t in root.findall(f"{SVG_NS}text")]
+        assert "occamy" in texts and "private" in texts
+
+    def test_series(self):
+        svg = series_svg({"core0": [1, 4, 9, 16], "core1": [16, 9, 4, 1]})
+        root = parse(svg)
+        assert len(root.findall(f"{SVG_NS}polyline")) == 2
+
+    def test_bar_chart(self):
+        svg = bar_chart_svg(
+            ["1+13", "2+14"],
+            {"fts": [1.2, 1.1], "occamy": [1.5, 1.4]},
+        )
+        root = parse(svg)
+        rects = root.findall(f"{SVG_NS}rect")
+        # background + 4 bars + 2 legend swatches
+        assert len(rects) >= 7
+
+    def test_empty_series_tolerated(self):
+        parse(series_svg({"empty": []}))
+        parse(lane_timeline_svg({"none": []}, total_cycles=0))
+
+    def test_write_svg(self, tmp_path):
+        path = tmp_path / "plot.svg"
+        write_svg(series_svg({"x": [1, 2]}), str(path))
+        parse(path.read_text())
+
+    def test_palette_cycles(self):
+        many = {f"s{i}": [1.0] for i in range(len(PALETTE) + 2)}
+        parse(series_svg(many))
+
+
+class TestEndToEnd:
+    def test_plot_from_run(self, tmp_path, config):
+        from repro import OCCAMY, run_policy
+        from tests.conftest import compiled_job, make_two_phase
+
+        result = run_policy(config, OCCAMY, [compiled_job(make_two_phase()), None])
+        svg = lane_timeline_svg(
+            {"core0": result.metrics.lane_timeline[0].points},
+            total_cycles=result.total_cycles,
+        )
+        parse(svg)
+        write_svg(svg, str(tmp_path / "lanes.svg"))

@@ -1,0 +1,45 @@
+"""The one-shot Markdown reproduction report."""
+
+import pytest
+
+from repro.analysis.report import generate_report, write_report
+from repro.cli import main
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(scale=0.05, pairs_limit=1)
+
+    def test_sections_present(self, report):
+        for heading in (
+            "# Occamy reproduction report",
+            "## Motivating example",
+            "## Co-running pairs",
+            "## Table 5",
+            "## Area",
+            "## Energy",
+        ):
+            assert heading in report
+
+    def test_table5_exact_values_included(self, report):
+        assert "| 12 | 16.0 | 16.0 | 24.0 | 16.0 |" in report
+
+    def test_paper_references_included(self, report):
+        assert "1.20 / 1.11 / 1.39" in report
+        assert "+33.5%" in report
+
+    def test_markdown_tables_well_formed(self, report):
+        for line in report.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "r.md"
+        write_report(str(path), scale=0.05, pairs_limit=1)
+        assert path.read_text().startswith("# Occamy reproduction report")
+
+    def test_cli_report(self, tmp_path, capsys):
+        path = tmp_path / "cli.md"
+        assert main(["report", str(path), "--scale", "0.05", "--pairs", "1"]) == 0
+        assert "report written" in capsys.readouterr().out

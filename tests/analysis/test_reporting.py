@@ -1,0 +1,45 @@
+"""ASCII reporting helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.reporting import format_series, format_table, geomean
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([2, 8, 0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    @given(st.lists(st.floats(0.1, 10), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        gm = geomean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1.5], ["bb", 22.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_series_renders(self):
+        text = format_series("lanes", [0, 8, 16, 32])
+        assert "lanes" in text
+        assert "peak=32" in text
+
+    def test_series_resamples_long_input(self):
+        text = format_series("x", list(range(1000)), width=40)
+        assert text.count("|") == 2
+
+    def test_empty_series(self):
+        assert "(empty)" in format_series("x", [])

@@ -1,0 +1,49 @@
+"""The exception hierarchy: every library error is a ReproError."""
+
+import pytest
+
+from repro.common.errors import (
+    AssemblyError,
+    CompilationError,
+    ConfigurationError,
+    DeadlockError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    VectorizationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            AssemblyError,
+            CompilationError,
+            ConfigurationError,
+            DeadlockError,
+            ProtocolError,
+            SimulationError,
+            VectorizationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_vectorization_is_compilation(self):
+        # Callers catching compiler failures get vectorizer failures too.
+        assert issubclass(VectorizationError, CompilationError)
+
+    def test_deadlock_and_protocol_are_simulation(self):
+        assert issubclass(DeadlockError, SimulationError)
+        assert issubclass(ProtocolError, SimulationError)
+
+    def test_one_except_clause_catches_everything(self):
+        for exc in (AssemblyError, ProtocolError, VectorizationError):
+            with pytest.raises(ReproError):
+                raise exc("boom")
+
+    def test_layers_distinguishable(self):
+        # A simulation error must not be swallowed by compiler handlers.
+        assert not issubclass(SimulationError, CompilationError)
+        assert not issubclass(CompilationError, SimulationError)

@@ -1,0 +1,134 @@
+"""Kernel IR validation and DAG construction (CSE, dependences)."""
+
+import pytest
+
+from repro.common.errors import CompilationError, VectorizationError
+from repro.compiler.dag import build_dag
+from repro.compiler.ir import (
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Kernel,
+    Load,
+    Loop,
+    Param,
+    Reduce,
+)
+
+
+def loop_of(*statements, trip=128, name="l"):
+    return Loop(name=name, trip_count=trip, body=tuple(statements))
+
+
+class TestIRValidation:
+    def test_unknown_binop(self):
+        with pytest.raises(CompilationError):
+            BinOp("pow", Load("a"), Load("b"))
+
+    def test_unknown_call(self):
+        with pytest.raises(CompilationError):
+            Call("sin", Load("a"))
+
+    def test_unknown_reduction(self):
+        with pytest.raises(CompilationError):
+            Reduce("mul", "acc", Load("a"))
+
+    def test_empty_loop_rejected(self):
+        with pytest.raises(CompilationError):
+            Loop("l", trip_count=8, body=())
+
+    def test_zero_trip_rejected(self):
+        with pytest.raises(CompilationError):
+            loop_of(Assign("b", Load("a")), trip=0)
+
+    def test_kernel_requires_loops(self):
+        with pytest.raises(CompilationError):
+            Kernel("k", array_length=64, loops=())
+
+    def test_stencil_padding_checked(self):
+        loop = Loop(
+            "l", trip_count=64,
+            body=(Assign("b", BinOp("add", Load("a", -1), Load("a", 1))),),
+        )
+        with pytest.raises(CompilationError):
+            Kernel("k", array_length=64, loops=(loop,))
+        Kernel("k", array_length=66, loops=(loop,))  # padded: fine
+
+    def test_shift_helpers(self):
+        loop = Loop(
+            "l", trip_count=64,
+            body=(Assign("b", BinOp("add", Load("a", -2), Load("a", 1))),),
+        )
+        assert loop.max_negative_shift() == 2
+        assert loop.max_positive_shift() == 1
+
+    def test_arrays_read_written(self):
+        loop = loop_of(
+            Assign("out", BinOp("add", Load("a"), Load("b"))),
+            Reduce("add", "acc", Load("a")),
+        )
+        assert loop.arrays_read() == {"a", "b"}
+        assert loop.arrays_written() == {"out"}
+        kernel = Kernel("k", array_length=128, loops=(loop,))
+        assert kernel.reduction_outputs() == {"acc"}
+        assert kernel.arrays() == {"a", "b", "out"}
+
+
+class TestDag:
+    def test_cse_collapses_common_subexpressions(self):
+        shared = BinOp("add", Load("v"), Load("v1"))
+        loop = loop_of(
+            Assign("x", BinOp("mul", shared, shared)),
+            Assign("y", BinOp("mul", shared, Const(0.5))),
+        )
+        dag = build_dag(loop)
+        # loads v, v1; computes: add (shared), mul, mul — shared built once.
+        assert dag.num_loads == 2
+        assert dag.num_computes == 3
+
+    def test_distinct_constants_not_merged(self):
+        loop = loop_of(
+            Assign("x", BinOp("mul", Load("a"), Const(1.0))),
+            Assign("y", BinOp("mul", Load("a"), Const(2.0))),
+        )
+        assert build_dag(loop).num_computes == 2
+
+    def test_same_constant_merged(self):
+        loop = loop_of(
+            Assign("x", BinOp("mul", Load("a"), Const(2.0))),
+            Assign("y", BinOp("mul", Load("a"), Const(2.0))),
+        )
+        dag = build_dag(loop)
+        assert dag.num_computes == 1
+        assert dag.num_stores == 2
+
+    def test_loads_cse_by_array_and_shift(self):
+        loop = loop_of(
+            Assign("x", BinOp("add", Load("a"), Load("a"))),
+            Assign("y", BinOp("add", Load("a", 1), Load("a", 1))),
+        )
+        assert build_dag(loop).num_loads == 2
+
+    def test_loop_carried_dependence_rejected(self):
+        loop = loop_of(Assign("a", BinOp("add", Load("a", -1), Const(1.0))))
+        with pytest.raises(VectorizationError):
+            build_dag(loop)
+
+    def test_in_place_same_index_allowed(self):
+        loop = loop_of(Assign("a", BinOp("add", Load("a"), Const(1.0))))
+        dag = build_dag(loop)
+        assert dag.num_loads == 1
+
+    def test_reductions_collected(self):
+        loop = loop_of(Reduce("add", "acc", BinOp("mul", Load("x"), Load("y"))))
+        dag = build_dag(loop)
+        assert dag.reductions == [("add", "acc", dag.reductions[0][2])]
+        assert dag.num_stores == 0
+
+    def test_params_interned(self):
+        loop = loop_of(
+            Assign("x", BinOp("mul", Param("a"), Load("v"))),
+            Assign("y", BinOp("add", Param("a"), Load("v"))),
+        )
+        assert len(build_dag(loop).params()) == 1

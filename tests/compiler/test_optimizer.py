@@ -1,0 +1,159 @@
+"""Compiler optimisation passes: folding, fusion, dead-code elimination."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    OCCAMY,
+    CompileOptions,
+    Job,
+    build_image,
+    compile_kernel,
+    experiment_config,
+    reference_execute,
+    run_policy,
+)
+from repro.compiler.dag import build_dag
+from repro.compiler.ir import Assign, BinOp, Call, Const, Kernel, Load, Loop, Param, Reduce
+from repro.compiler.optimizer import eliminate_dead, fold_constants, fuse_fma, optimize
+
+
+def loop_of(*statements, trip=128):
+    return Loop("l", trip_count=trip, body=tuple(statements))
+
+
+class TestConstantFolding:
+    def test_binop_folds(self):
+        dag = fold_constants(
+            build_dag(loop_of(Assign("z", BinOp("mul", Const(2.0), Const(3.0)))))
+        )
+        consts = [n.value for n in dag.nodes if n.kind == "const"]
+        assert 6.0 in consts
+
+    def test_nested_folding(self):
+        expr = BinOp("add", BinOp("mul", Const(2.0), Const(3.0)), Const(4.0))
+        dag = optimize(build_dag(loop_of(Assign("z", expr))), fma=False)
+        # One synthetic mov materialises the folded constant; nothing else.
+        assert [n.op for n in dag.computes()] == ["mov"]
+
+    def test_unary_folding(self):
+        dag = optimize(
+            build_dag(loop_of(Assign("z", Call("neg", Const(2.0))))), fma=False
+        )
+        consts = [n.value for n in dag.nodes if n.kind == "const"]
+        assert -2.0 in consts
+
+    def test_division_by_zero_folds_to_zero(self):
+        dag = fold_constants(
+            build_dag(loop_of(Assign("z", BinOp("div", Const(1.0), Const(0.0)))))
+        )
+        consts = [n.value for n in dag.nodes if n.kind == "const"]
+        assert 0.0 in consts
+
+    def test_non_const_operands_untouched(self):
+        dag = fold_constants(
+            build_dag(loop_of(Assign("z", BinOp("mul", Load("x"), Const(3.0)))))
+        )
+        assert [n.op for n in dag.computes()] == ["mul"]
+
+
+class TestFmaFusion:
+    def test_axpy_becomes_single_fma(self):
+        expr = BinOp("add", BinOp("mul", Param("a"), Load("x")), Load("y"))
+        dag = optimize(build_dag(loop_of(Assign("y", expr))), fold=False)
+        assert [n.op for n in dag.computes()] == ["fma"]
+
+    def test_add_first_operand_order(self):
+        expr = BinOp("add", Load("y"), BinOp("mul", Load("a"), Load("b")))
+        dag = optimize(build_dag(loop_of(Assign("z", expr))), fold=False)
+        assert [n.op for n in dag.computes()] == ["fma"]
+
+    def test_shared_mul_not_fused(self):
+        mul = BinOp("mul", Load("a"), Load("b"))
+        dag = optimize(
+            build_dag(
+                loop_of(
+                    Assign("x", BinOp("add", mul, Load("c"))),
+                    Assign("y", mul),  # second use keeps the mul alive
+                )
+            ),
+            fold=False,
+        )
+        ops = sorted(n.op for n in dag.computes())
+        assert ops == ["add", "mul"]
+
+    def test_fusion_reduces_instruction_count(self):
+        expr = BinOp(
+            "add",
+            BinOp("mul", Load("a"), Load("b")),
+            BinOp("mul", Load("c"), Load("d")),
+        )
+        plain = build_dag(loop_of(Assign("z", expr)))
+        fused = optimize(plain, fold=False)
+        assert fused.num_computes < plain.num_computes
+
+    def test_reduction_expression_fused(self):
+        dag = optimize(
+            build_dag(
+                loop_of(Reduce("add", "acc", BinOp("add", BinOp("mul", Load("x"), Load("y")), Load("z"))))
+            ),
+            fold=False,
+        )
+        assert "fma" in [n.op for n in dag.computes()]
+
+
+class TestDeadCodeElimination:
+    def test_orphans_swept(self):
+        expr = BinOp("add", BinOp("mul", Param("a"), Load("x")), Load("y"))
+        fused = fuse_fma(build_dag(loop_of(Assign("y", expr))))
+        assert "mul" in [n.op for n in fused.computes()]  # orphan remains
+        swept = eliminate_dead(fused)
+        assert [n.op for n in swept.computes()] == ["fma"]
+
+    def test_stores_and_reductions_kept(self):
+        dag = optimize(
+            build_dag(
+                loop_of(
+                    Assign("out", Load("a")),
+                    Reduce("add", "acc", Load("b")),
+                )
+            )
+        )
+        assert dag.num_stores == 1
+        assert len(dag.reductions) == 1
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("options", [
+        CompileOptions(fuse_fma=True),
+        CompileOptions(fold_constants=True),
+        CompileOptions(fuse_fma=True, fold_constants=True),
+    ], ids=["fma", "fold", "both"])
+    def test_optimised_code_matches_oracle(self, options):
+        expr = BinOp(
+            "add",
+            BinOp("mul", Param("a"), Load("x")),
+            BinOp("mul", Const(2.0), BinOp("add", Load("y"), Const(3.0 * 0.5))),
+        )
+        kernel = Kernel(
+            "opt", array_length=300,
+            loops=(Loop("l", trip_count=300, body=(Assign("z", expr),)),),
+            params={"a": 1.5},
+        )
+        config = experiment_config()
+        image = build_image(kernel, 0)
+        expected = reference_execute(kernel, image)
+        run_policy(config, OCCAMY, [Job(compile_kernel(kernel, options), image), None])
+        np.testing.assert_allclose(image.array("z"), expected.array("z"), rtol=1e-5)
+
+    def test_fusion_changes_reported_oi(self):
+        expr = BinOp("add", BinOp("mul", Param("a"), Load("x")), Load("y"))
+        kernel = Kernel(
+            "axpy", array_length=300,
+            loops=(Loop("l", trip_count=300, body=(Assign("y", expr),)),),
+            params={"a": 2.0},
+        )
+        plain = compile_kernel(kernel)
+        fused = compile_kernel(kernel, CompileOptions(fuse_fma=True))
+        assert fused.meta["phase_ois"][0].mem < plain.meta["phase_ois"][0].mem
+        assert len(fused) < len(plain)

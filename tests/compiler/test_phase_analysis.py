@@ -1,0 +1,77 @@
+"""Operational-intensity analysis (§6.3, Eq. 5)."""
+
+import pytest
+
+from repro.common.config import experiment_config
+from repro.compiler.ir import Assign, BinOp, Const, Load, Loop, Reduce
+from repro.compiler.phase_analysis import analyze_loop
+from tests.conftest import make_axpy, make_stencil
+
+
+class TestEq5:
+    def test_axpy(self):
+        info = analyze_loop(make_axpy().loops[0])
+        # mul + add over loads x, y and store y.
+        assert info.comp_insts == 2
+        assert info.load_insts == 2
+        assert info.store_insts == 1
+        assert info.footprint_arrays == 2  # x and y (y read+written)
+        assert info.oi.issue == pytest.approx(2 / 12)
+        assert info.oi.mem == pytest.approx(2 / 8)
+
+    def test_stencil_data_reuse(self):
+        info = analyze_loop(make_stencil().loops[0])
+        # 3 issued loads of w, but footprint is only w + out.
+        assert info.load_insts == 3
+        assert info.footprint_arrays == 2
+        assert info.has_data_reuse
+        assert info.oi.issue < info.oi.mem
+
+    def test_reduction_folds_counted(self):
+        loop = Loop(
+            "dot", trip_count=64,
+            body=(Reduce("add", "acc", BinOp("mul", Load("x"), Load("y"))),),
+        )
+        info = analyze_loop(loop)
+        assert info.comp_insts == 2  # the mul plus the fold
+        assert info.store_insts == 0
+        assert info.oi.mem == pytest.approx(0.25)
+
+    def test_no_reuse_means_equal_intensities(self):
+        loop = Loop("l", trip_count=64, body=(Assign("b", Load("a")),))
+        info = analyze_loop(loop)
+        assert info.oi.issue == info.oi.mem
+        assert not info.has_data_reuse
+
+
+class TestResidency:
+    def test_levels_by_footprint(self):
+        memory = experiment_config().memory
+        small = analyze_loop(
+            Loop("s", trip_count=256, body=(Assign("b", Load("a")),))
+        )
+        assert small.residency_level(memory) == "vec_cache"
+        medium = analyze_loop(
+            Loop("m", trip_count=8192, body=(Assign("b", Load("a")),))
+        )
+        assert medium.residency_level(memory) == "l2"
+        large = analyze_loop(
+            Loop(
+                "l", trip_count=16384,
+                body=(Assign("d", BinOp("add", Load("a"), Load("b"))),),
+            )
+        )
+        assert large.residency_level(memory) == "dram"
+
+    def test_total_footprint_bytes(self):
+        info = analyze_loop(
+            Loop("l", trip_count=100, body=(Assign("b", Load("a")),))
+        )
+        assert info.total_footprint_bytes == 2 * 100 * 4
+
+    def test_oi_for_level(self):
+        info = analyze_loop(
+            Loop("l", trip_count=64, body=(Assign("b", Load("a")),))
+        )
+        assert info.oi_for_level("l2").level == "l2"
+        assert info.oi.level == "dram"

@@ -1,0 +1,59 @@
+"""Strip-mining (Fig. 9's ``s``): unrolled bodies under one monitor."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ALL_POLICIES,
+    OCCAMY,
+    CompileOptions,
+    Job,
+    build_image,
+    compile_kernel,
+    experiment_config,
+    reference_execute,
+    run_policy,
+)
+from repro.isa.instructions import AddVL, WhileLT
+from tests.conftest import make_axpy, make_reduction, make_stencil
+
+
+class TestUnrollCodegen:
+    def test_body_replicated(self):
+        single = compile_kernel(make_axpy(), CompileOptions(unroll=1))
+        quad = compile_kernel(make_axpy(), CompileOptions(unroll=4))
+        count = lambda p, cls: sum(isinstance(i, cls) for i in p)
+        assert count(quad, WhileLT) == 4 * count(single, WhileLT)
+        assert count(quad, AddVL) == 4 * count(single, AddVL)
+
+    def test_monitor_not_replicated(self):
+        single = compile_kernel(make_axpy(), CompileOptions(unroll=1))
+        quad = compile_kernel(make_axpy(), CompileOptions(unroll=4))
+        assert len(quad.meta["monitor"]) == len(single.meta["monitor"])
+
+
+@pytest.mark.parametrize("unroll", [2, 3, 4])
+class TestUnrollCorrectness:
+    def _check(self, kernel, unroll, policy=OCCAMY, rtol=1e-4):
+        config = experiment_config()
+        program = compile_kernel(kernel, CompileOptions(unroll=unroll))
+        image = build_image(kernel, 0)
+        expected = reference_execute(kernel, image)
+        run_policy(config, policy, [Job(program, image), None])
+        for name, array in expected:
+            np.testing.assert_allclose(image.array(name), array, rtol=rtol)
+
+    def test_axpy_with_awkward_tails(self, unroll):
+        # Lengths chosen so the tail lands inside different body copies.
+        for length in (63, 130, 257, 300):
+            self._check(make_axpy(length=length), unroll)
+
+    def test_stencil(self, unroll):
+        self._check(make_stencil(401), unroll)
+
+    def test_reduction_spliced(self, unroll):
+        self._check(make_reduction(391, repeats=2), unroll, rtol=1e-3)
+
+    def test_under_every_policy(self, unroll):
+        for policy in ALL_POLICIES:
+            self._check(make_axpy(217), unroll, policy=policy)

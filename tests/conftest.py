@@ -1,0 +1,123 @@
+"""Shared fixtures and kernel builders for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Job,
+    Kernel,
+    Load,
+    Loop,
+    Param,
+    Reduce,
+    build_image,
+    compile_kernel,
+    experiment_config,
+)
+from repro.compiler.pipeline import CompileOptions
+
+
+@pytest.fixture
+def config():
+    """The scaled two-core evaluation configuration."""
+    return experiment_config()
+
+
+@pytest.fixture
+def config4():
+    """The scaled four-core evaluation configuration."""
+    return experiment_config(num_cores=4)
+
+
+def make_axpy(length: int = 512, repeats: int = 1) -> Kernel:
+    """y = a*x + y — the simplest realistic kernel."""
+    return Kernel(
+        name="axpy",
+        array_length=length,
+        loops=(
+            Loop(
+                "axpy",
+                trip_count=length,
+                repeats=repeats,
+                body=(
+                    Assign(
+                        "y",
+                        BinOp("add", BinOp("mul", Param("a"), Load("x")), Load("y")),
+                    ),
+                ),
+            ),
+        ),
+        params={"a": 2.0},
+    )
+
+
+def make_stencil(length: int = 512) -> Kernel:
+    """out[i] = (w[i-1] + w[i] + w[i+1]) / 3 — exercises shifts/data reuse."""
+    return Kernel(
+        name="stencil3",
+        array_length=length,
+        loops=(
+            Loop(
+                "stencil3",
+                trip_count=length - 2,
+                body=(
+                    Assign(
+                        "out",
+                        BinOp(
+                            "mul",
+                            BinOp(
+                                "add",
+                                BinOp("add", Load("w", -1), Load("w")),
+                                Load("w", 1),
+                            ),
+                            Const(1.0 / 3.0),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+def make_reduction(length: int = 512, repeats: int = 1) -> Kernel:
+    """acc += x*y — a dot product (loop-carried reduction)."""
+    return Kernel(
+        name="dot",
+        array_length=length,
+        loops=(
+            Loop(
+                "dot",
+                trip_count=length,
+                repeats=repeats,
+                body=(Reduce("add", "acc", BinOp("mul", Load("x"), Load("y"))),),
+            ),
+        ),
+    )
+
+
+def make_two_phase(length: int = 512) -> Kernel:
+    """A memory-ish phase followed by a compute-ish phase."""
+    mem = Loop(
+        "mem",
+        trip_count=length,
+        body=(
+            Assign("c", BinOp("add", Load("a"), Load("b"))),
+            Assign("d", BinOp("max", Load("e"), Load("f"))),
+        ),
+    )
+    expr = BinOp("mul", Load("x"), Load("y"))
+    for i in range(8):
+        expr = BinOp("add", BinOp("mul", expr, Const(1.0 + 0.001 * i)), Load("x"))
+    comp = Loop("comp", trip_count=length, repeats=4, body=(Assign("z", expr),))
+    return Kernel(name="two_phase", array_length=length, loops=(mem, comp))
+
+
+def compiled_job(kernel: Kernel, core_id: int = 0, **options) -> Job:
+    """Compile a kernel and wrap it with a fresh image."""
+    program = compile_kernel(kernel, CompileOptions(**options))
+    return Job(program=program, image=build_image(kernel, core_id=core_id))

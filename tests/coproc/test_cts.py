@@ -1,0 +1,90 @@
+"""Coarse-grained temporal sharing (CTS) arbitration."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Job,
+    build_image,
+    compile_kernel,
+    experiment_config,
+    reference_execute,
+    run_policy,
+)
+from repro.coproc.coprocessor import SharingMode
+from repro.coproc.metrics import StallReason
+from repro.core.machine import Machine
+from repro.core.policies import CTS, policy
+from tests.conftest import compiled_job, make_axpy, make_two_phase
+
+
+class TestCtsPolicy:
+    def test_registered(self):
+        assert policy("cts") is CTS
+        assert CTS.mode is SharingMode.COARSE_TEMPORAL
+
+    def test_solo_workload_full_width(self, config):
+        result = run_policy(config, CTS, [compiled_job(make_axpy()), None])
+        lanes = result.metrics.lane_timeline[0]
+        assert max(v for _, v in lanes.points) == config.vector.total_lanes
+
+    def test_corun_correctness(self, config):
+        kernels = (make_axpy(512), make_two_phase(512))
+        jobs = [compiled_job(kernels[0], 0), compiled_job(kernels[1], 1)]
+        oracles = [reference_execute(k, j.image) for k, j in zip(kernels, jobs)]
+        run_policy(config, CTS, jobs)
+        for job, oracle in zip(jobs, oracles):
+            for name, array in oracle:
+                np.testing.assert_allclose(job.image.array(name), array, rtol=1e-3)
+
+    def test_ownership_rotates(self, config):
+        jobs = [
+            compiled_job(make_two_phase(512), 0),
+            compiled_job(make_two_phase(512), 1),
+        ]
+        machine = Machine(config, CTS, jobs)
+        machine.run()
+        assert machine.coproc.cts_switches >= 2
+
+    def test_no_rename_stalls(self, config):
+        jobs = [
+            compiled_job(make_two_phase(512), 0),
+            compiled_job(make_two_phase(512), 1),
+        ]
+        result = run_policy(config, CTS, jobs)
+        for core in (0, 1):
+            assert result.metrics.stall_fraction(core, StallReason.RENAME) < 0.02
+
+    def test_non_owner_waits(self, config):
+        jobs = [
+            compiled_job(make_two_phase(512), 0),
+            compiled_job(make_two_phase(512), 1),
+        ]
+        result = run_policy(config, CTS, jobs)
+        # Exclusive ownership shows up as issue-budget stalls on the
+        # waiting core.
+        waits = sum(
+            result.metrics.stalls[core][StallReason.ISSUE_BUDGET]
+            for core in (0, 1)
+        )
+        assert waits > 100
+
+    def test_switch_penalty_configurable(self):
+        import dataclasses
+
+        config = experiment_config()
+        vector = dataclasses.replace(config.vector, cts_switch_penalty=0, cts_quantum=64)
+        fast_config = dataclasses.replace(config, vector=vector)
+        jobs = [
+            compiled_job(make_two_phase(512), 0),
+            compiled_job(make_two_phase(512), 1),
+        ]
+        fast = run_policy(fast_config, CTS, jobs)
+        jobs = [
+            compiled_job(make_two_phase(512), 0),
+            compiled_job(make_two_phase(512), 1),
+        ]
+        vector = dataclasses.replace(config.vector, cts_switch_penalty=200, cts_quantum=64)
+        slow_config = dataclasses.replace(config, vector=vector)
+        slow = run_policy(slow_config, CTS, jobs)
+        assert slow.total_cycles > fast.total_cycles

@@ -1,0 +1,126 @@
+"""Co-processor engine dispatch behaviour, probed with crafted programs."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import experiment_config
+from repro.coproc.coprocessor import CoProcessor, SharingMode
+from repro.coproc.metrics import Metrics, StallReason
+from repro.core.lane_manager import StaticLaneManager, TemporalLaneManager
+from repro.core.scalar_core import ScalarCore
+from repro.isa.assembler import assemble
+from repro.memory.image import MemoryImage
+
+SETVL = """
+setvl:
+    msr <VL>, #16
+    mrs X3, <status>
+    b.ne X3, #1, setvl
+"""
+
+INDEPENDENT_COMPUTES = SETVL + """
+    mov Xz, #0
+    mov Xfull, #64
+    whilelt p0, Xz, Xfull
+    fdup z0, #1.0, p0
+""" + "\n".join(
+    f"    fmul z{i}, z0, #1.0{i:02d}, p0" for i in range(1, 9)
+) + "\nhalt"
+
+DEPENDENT_CHAIN = SETVL + """
+    mov Xz, #0
+    mov Xfull, #64
+    whilelt p0, Xz, Xfull
+    fdup z0, #1.5, p0
+""" + "\n".join(
+    f"    fmul z{i}, z{i - 1}, #1.01, p0" for i in range(1, 9)
+) + "\nhalt"
+
+
+def run_program(source, mode=SharingMode.SPATIAL, manager=None, cores=(0,)):
+    config = experiment_config()
+    metrics = Metrics(config.num_cores, config.vector.total_lanes, 2)
+    manager = manager or StaticLaneManager({0: 16, 1: 16})
+    coproc = CoProcessor(config, mode, metrics, manager)
+    scalar_cores = []
+    for core_id in cores:
+        image = MemoryImage.for_core(core_id)
+        image.zeros("a", 256)
+        scalar_cores.append(
+            ScalarCore(core_id, assemble(source), image, coproc, metrics, config.core)
+        )
+    cycle = 0
+    while not all(c.halted and coproc.drained(c.core_id) for c in scalar_cores):
+        for core in scalar_cores:
+            core.step(cycle)
+        coproc.step(cycle)
+        cycle += 1
+        assert cycle < 100_000, "did not terminate"
+    metrics.close(cycle)
+    return metrics, coproc, cycle
+
+
+class TestDispatchThroughput:
+    def test_independent_computes_reach_issue_width(self):
+        metrics, _coproc, _cycles = run_program(INDEPENDENT_COMPUTES)
+        # Eight independent muls dispatch two per cycle.
+        assert metrics.compute_uops[0] >= 8
+
+    def test_dependent_chain_serialised_by_latency(self):
+        _m1, _c1, independent = run_program(INDEPENDENT_COMPUTES)
+        _m2, _c2, dependent = run_program(DEPENDENT_CHAIN)
+        # The chain pays ~compute_latency per link; independents overlap.
+        assert dependent > independent + 10
+
+    def test_long_latency_ops_cost_more(self):
+        fast = SETVL + """
+            mov Xz, #0
+            mov Xfull, #64
+            whilelt p0, Xz, Xfull
+            fdup z0, #2.0, p0
+            fmul z1, z0, z0, p0
+            faddv Xs, z1
+            halt
+        """
+        slow = fast.replace("fmul z1", "fdiv z1")
+        _m1, _c1, mul_cycles = run_program(fast)
+        _m2, _c2, div_cycles = run_program(slow)
+        assert div_cycles > mul_cycles
+
+
+class TestTemporalContention:
+    def test_global_budget_shared_between_cores(self):
+        manager = TemporalLaneManager(32)
+        source = INDEPENDENT_COMPUTES.replace("msr <VL>, #16", "msr <VL>, #32")
+        solo_metrics, _c, _ = run_program(
+            source, mode=SharingMode.TEMPORAL, manager=manager, cores=(0,)
+        )
+        duo_metrics, _c, _ = run_program(
+            source, mode=SharingMode.TEMPORAL, manager=manager, cores=(0, 1)
+        )
+        # With a co-runner the same program sees issue-budget contention.
+        duo_stalls = sum(
+            duo_metrics.stalls[core][StallReason.ISSUE_BUDGET] for core in (0, 1)
+        )
+        solo_stalls = solo_metrics.stalls[0][StallReason.ISSUE_BUDGET]
+        assert duo_stalls > solo_stalls
+
+    def test_busy_lanes_counted_full_width(self):
+        manager = TemporalLaneManager(32)
+        source = INDEPENDENT_COMPUTES.replace("msr <VL>, #16", "msr <VL>, #32")
+        metrics, _c, _ = run_program(
+            source, mode=SharingMode.TEMPORAL, manager=manager
+        )
+        # Each uop occupies all 32 lanes under temporal sharing.
+        assert metrics.busy_pipe_slots >= 32 * 8
+
+
+class TestCommitOrdering:
+    def test_pool_drains_completely(self):
+        _metrics, coproc, _ = run_program(INDEPENDENT_COMPUTES)
+        assert coproc.pools[0].empty
+        assert coproc.pools[0].transmitted == coproc.pools[0].committed
+
+    def test_renamer_balanced_after_run(self):
+        _metrics, coproc, _ = run_program(DEPENDENT_CHAIN)
+        assert coproc.renamer.in_flight(0) == 0

@@ -1,0 +1,77 @@
+"""ExeBU ownership tables (Dispatch.Cfg / RegFile.Cfg)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ProtocolError
+from repro.coproc.lanes import LaneTable
+
+
+class TestReconfigure:
+    def test_initial_all_free(self):
+        table = LaneTable(32)
+        assert table.free_count == 32
+        assert table.lanes_of(0) == []
+
+    def test_assign_and_count(self):
+        table = LaneTable(32)
+        table.reconfigure(0, 8)
+        assert table.owned_count(0) == 8
+        assert table.free_count == 24
+
+    def test_reassign_frees_previous(self):
+        table = LaneTable(32)
+        table.reconfigure(0, 8)
+        table.reconfigure(0, 12)
+        assert table.owned_count(0) == 12
+        assert table.free_count == 20
+        assert table.reconfigurations == 2
+
+    def test_two_cores_disjoint(self):
+        table = LaneTable(32)
+        table.reconfigure(0, 12)
+        table.reconfigure(1, 20)
+        owned0 = set(table.lanes_of(0))
+        owned1 = set(table.lanes_of(1))
+        assert not owned0 & owned1
+        assert table.free_count == 0
+
+    def test_release_all(self):
+        table = LaneTable(32)
+        table.reconfigure(0, 16)
+        table.reconfigure(0, 0)
+        assert table.free_count == 32
+
+    def test_overflow_rejected(self):
+        table = LaneTable(32)
+        table.reconfigure(0, 24)
+        with pytest.raises(ProtocolError):
+            table.reconfigure(1, 16)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ProtocolError):
+            LaneTable(32).reconfigure(0, -1)
+
+    def test_ownership_vector(self):
+        table = LaneTable(4)
+        table.reconfigure(1, 2)
+        assert table.ownership_vector() == (1, 1, None, None)
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 8)), max_size=40))
+    def test_accounting_invariant(self, moves):
+        table = LaneTable(32)
+        for core, lanes in moves:
+            current = table.owned_count(core)
+            if lanes <= table.free_count + current:
+                table.reconfigure(core, lanes)
+        total_owned = sum(table.owned_count(c) for c in range(4))
+        assert total_owned + table.free_count == 32
+
+
+class TestUopAccounting:
+    def test_record_uops(self):
+        table = LaneTable(8)
+        table.reconfigure(0, 4)
+        table.record_uops(0, 3)
+        busy = [bu.uops_executed for bu in table._lanes]
+        assert busy.count(3) == 4

@@ -1,0 +1,76 @@
+"""Renamer freelist: spatial vs temporal pools (Fig. 13's mechanism)."""
+
+import pytest
+
+from repro.common.config import VectorConfig
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.coproc.renamer import SHARED_MIN_RESERVE, Renamer
+
+
+def vector(vregs=128, arch=32):
+    return VectorConfig(vregs_per_block=vregs, arch_vregs=arch)
+
+
+class TestSpatial:
+    def test_private_pools(self):
+        renamer = Renamer(vector(), num_cores=2, shared=False)
+        assert renamer.capacity(0) == 96
+        assert renamer.capacity(1) == 96
+
+    def test_allocation_isolated_per_core(self):
+        renamer = Renamer(vector(), num_cores=2, shared=False)
+        for _ in range(96):
+            assert renamer.try_allocate(0)
+        assert not renamer.try_allocate(0)
+        assert renamer.try_allocate(1)
+
+    def test_release_returns_register(self):
+        renamer = Renamer(vector(), num_cores=2, shared=False)
+        renamer.try_allocate(0)
+        renamer.release(0)
+        assert renamer.available(0) == 96
+        assert renamer.in_flight(0) == 0
+
+    def test_double_release_rejected(self):
+        renamer = Renamer(vector(), num_cores=2, shared=False)
+        with pytest.raises(ProtocolError):
+            renamer.release(0)
+
+
+class TestTemporal:
+    def test_shared_pool_keeps_per_core_context(self):
+        # Per §7.6: same physical registers per core as the 2-core case.
+        renamer = Renamer(vector(), num_cores=2, shared=True)
+        assert renamer.capacity(0) == (128 // 2 - 32) * 2
+
+    def test_four_core_pool_scales(self):
+        renamer = Renamer(vector(), num_cores=4, shared=True)
+        assert renamer.capacity(0) == (128 // 2 - 32) * 4
+
+    def test_contention_visible_across_cores(self):
+        renamer = Renamer(vector(), num_cores=2, shared=True)
+        while renamer.try_allocate(0):
+            pass
+        # Core 0 hit its fairness cap; core 1 still has its reserve.
+        assert renamer.available(1) >= SHARED_MIN_RESERVE
+        assert renamer.failed_allocations >= 1
+
+    def test_fairness_cap(self):
+        renamer = Renamer(vector(), num_cores=2, shared=True)
+        grabbed = 0
+        while renamer.try_allocate(0):
+            grabbed += 1
+        assert grabbed == renamer.capacity(0) - SHARED_MIN_RESERVE
+
+    def test_insufficient_registers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Renamer(vector(vregs=64, arch=32), num_cores=2, shared=True)
+
+
+class TestCounters:
+    def test_allocation_counters(self):
+        renamer = Renamer(vector(), num_cores=2, shared=False)
+        renamer.try_allocate(0)
+        renamer.try_allocate(1)
+        assert renamer.allocations == 2
+        assert renamer.in_flight(0) == 1

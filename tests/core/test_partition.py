@@ -1,0 +1,119 @@
+"""Greedy lane partitioning (§5.2) and its fairness properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import table4_config
+from repro.common.errors import ConfigurationError
+from repro.core.partition import greedy_partition, static_partition
+from repro.core.roofline import RooflineModel
+from repro.isa.registers import OIValue
+
+ROOFLINE = RooflineModel.from_config(table4_config())
+
+
+class TestPaperScenarios:
+    def test_motivating_phase1_plan(self):
+        # Fig. 8: WL#0.p1 (oi ~0.083) gets 8 lanes, WL#1 (wsm5) gets 24.
+        plan = greedy_partition(
+            {0: OIValue.uniform(0.083), 1: OIValue(0.6, 1.0, level="vec_cache")},
+            32,
+            ROOFLINE,
+        )
+        assert plan == {0: 8, 1: 24}
+
+    def test_motivating_phase2_plan(self):
+        # Fig. 8: WL#0.p2 (oi 0.375) gets 12 lanes, WL#1 gets 20.
+        plan = greedy_partition(
+            {0: OIValue.uniform(0.375), 1: OIValue(0.6, 1.0, level="vec_cache")},
+            32,
+            ROOFLINE,
+        )
+        assert plan == {0: 12, 1: 20}
+
+    def test_solo_workload_gets_everything_it_can_use(self):
+        plan = greedy_partition({1: OIValue(0.6, 1.0, level="vec_cache")}, 32, ROOFLINE)
+        assert plan == {1: 32}
+
+    def test_case4_issue_bandwidth_trade(self):
+        # Table 5: WL8.p1 receives 12 lanes, not the 8 that memory and
+        # computation ceilings alone would suggest.
+        plan = greedy_partition(
+            {0: OIValue(1.0 / 6.0, 0.25), 1: OIValue(0.6, 1.0, level="vec_cache")},
+            32,
+            ROOFLINE,
+        )
+        assert plan[0] == 12
+
+
+class TestFairness:
+    def test_compute_pair_splits_equally(self):
+        # §5.2: co-running compute-intensive workloads divide lanes equally.
+        oi = OIValue(1.0, 1.5, level="vec_cache")
+        plan = greedy_partition({0: oi, 1: oi}, 32, ROOFLINE)
+        assert plan == {0: 16, 1: 16}
+
+    def test_every_running_phase_gets_a_lane(self):
+        demands = {core: OIValue.uniform(0.05) for core in range(4)}
+        plan = greedy_partition(demands, 32, ROOFLINE)
+        assert all(lanes >= 1 for lanes in plan.values())
+
+    def test_ended_phases_excluded(self):
+        plan = greedy_partition(
+            {0: OIValue.ZERO, 1: OIValue.uniform(1.0)}, 32, ROOFLINE
+        )
+        assert 0 not in plan
+
+    def test_empty_demands(self):
+        assert greedy_partition({}, 32, ROOFLINE) == {}
+
+    def test_more_phases_than_lanes_rejected(self):
+        demands = {core: OIValue.uniform(1.0) for core in range(4)}
+        with pytest.raises(ConfigurationError):
+            greedy_partition(demands, 2, ROOFLINE)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.dictionaries(
+            st.integers(0, 3),
+            st.builds(
+                OIValue,
+                st.floats(0.02, 3.0),
+                st.floats(0.02, 3.0),
+                st.sampled_from(["dram", "l2", "vec_cache"]),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_plan_respects_eq1(self, demands):
+        plan = greedy_partition(demands, 32, ROOFLINE)
+        assert set(plan) == set(demands)
+        assert all(lanes >= 1 for lanes in plan.values())
+        assert sum(plan.values()) <= 32
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(0.02, 3.0), st.floats(0.02, 3.0))
+    def test_deterministic(self, a, b):
+        demands = {0: OIValue.uniform(a), 1: OIValue.uniform(b)}
+        assert greedy_partition(demands, 32, ROOFLINE) == greedy_partition(
+            demands, 32, ROOFLINE
+        )
+
+
+class TestStaticPartition:
+    def test_uses_most_demanding_phase(self):
+        # VLS for the motivating pair: 12/20 (driven by WL#0.p2).
+        plan = static_partition(
+            {
+                0: [OIValue.uniform(0.083), OIValue.uniform(0.375)],
+                1: [OIValue(0.6, 1.0, level="vec_cache")],
+            },
+            32,
+            ROOFLINE,
+        )
+        assert plan == {0: 12, 1: 20}
+
+    def test_idle_core_excluded(self):
+        plan = static_partition({0: [OIValue.uniform(0.25)], 1: []}, 32, ROOFLINE)
+        assert 1 not in plan

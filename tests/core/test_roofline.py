@@ -1,0 +1,106 @@
+"""Vector-length-aware roofline model (§5.1, Eq. 2-4, Table 5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.config import experiment_config, table4_config
+from repro.common.errors import ConfigurationError
+from repro.core.roofline import RooflineModel
+from repro.isa.registers import OIValue
+
+#: The paper's Table 5 (WL8.p1: oi_issue = 1/6, oi_mem = 0.25), GFLOP/s.
+TABLE5 = {
+    4: (5.3, 16.0, 8.0, 5.3),
+    8: (10.7, 16.0, 16.0, 10.7),
+    12: (16.0, 16.0, 24.0, 16.0),
+    16: (21.3, 16.0, 32.0, 16.0),
+    20: (26.7, 16.0, 40.0, 16.0),
+    24: (32.0, 16.0, 48.0, 16.0),
+    28: (37.3, 16.0, 56.0, 16.0),
+    32: (42.7, 16.0, 64.0, 16.0),
+}
+
+WL8_P1 = OIValue(issue=1.0 / 6.0, mem=0.25)
+
+
+class TestTable5:
+    def test_exact_reproduction(self):
+        roofline = RooflineModel.from_config(table4_config())
+        rows = roofline.table_rows(WL8_P1, sorted(TABLE5), frequency_ghz=2.0)
+        for row in rows:
+            issue, mem, comp, perf = TABLE5[row["vl"]]
+            assert row["simd_issue_bound"] == pytest.approx(issue, abs=0.05)
+            assert row["mem_bound"] == pytest.approx(mem, abs=0.05)
+            assert row["comp_bound"] == pytest.approx(comp, abs=0.05)
+            assert row["performance"] == pytest.approx(perf, abs=0.05)
+
+    def test_issue_bound_below_12_lanes(self):
+        # The paper: "bounded by instruction issue when VL < 12 lanes".
+        roofline = RooflineModel.from_config(table4_config())
+        for lanes in (4, 8):
+            assert roofline.issue_bound(lanes, WL8_P1) < roofline.mem_bound(WL8_P1)
+        assert roofline.issue_bound(12, WL8_P1) == pytest.approx(
+            roofline.mem_bound(WL8_P1)
+        )
+
+    def test_saturation_at_12_lanes(self):
+        # Case 4: Occamy assigns 12 lanes to WL8.p1.
+        roofline = RooflineModel.from_config(table4_config())
+        assert roofline.saturation_lanes(WL8_P1) == 12
+
+
+class TestCeilings:
+    def test_fp_peak_linear(self):
+        roofline = RooflineModel()
+        assert roofline.fp_peak(8) == 2 * roofline.fp_peak(4)
+
+    def test_mem_bound_lane_independent(self):
+        roofline = RooflineModel()
+        oi = OIValue.uniform(0.25)
+        assert roofline.mem_bound(oi) == roofline.mem_bound(oi)
+
+    def test_hierarchical_levels(self):
+        roofline = RooflineModel.from_config(experiment_config())
+        streaming = OIValue(0.5, 0.5, level="dram")
+        resident = OIValue(0.5, 0.5, level="vec_cache")
+        assert roofline.mem_bound(resident) > roofline.mem_bound(streaming)
+
+    def test_resident_compute_phase_saturates_all_lanes(self):
+        roofline = RooflineModel.from_config(experiment_config())
+        oi = OIValue(0.6, 1.0, level="vec_cache")
+        assert roofline.saturation_lanes(oi) == roofline.max_lanes
+
+    def test_attainable_zero_for_ended_phase(self):
+        roofline = RooflineModel()
+        assert roofline.attainable(8, OIValue.ZERO) == 0.0
+        assert roofline.attainable(0, OIValue.uniform(1.0)) == 0.0
+
+    def test_net_gain_eq3(self):
+        roofline = RooflineModel()
+        oi = OIValue.uniform(1.0)
+        gain = roofline.net_gain(4, oi)
+        assert gain == pytest.approx(
+            roofline.attainable(5, oi) - roofline.attainable(4, oi)
+        )
+
+    def test_low_oi_saturates_at_8_lanes(self):
+        # Pure streaming with no reuse: issue meets memory at 8 lanes.
+        roofline = RooflineModel.from_config(table4_config())
+        for oi_value in (0.06, 0.09, 0.13, 0.22):
+            assert roofline.saturation_lanes(OIValue.uniform(oi_value)) == 8
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RooflineModel(peak_flops_per_lane=0)
+        with pytest.raises(ConfigurationError):
+            RooflineModel(max_lanes=0)
+        with pytest.raises(ConfigurationError):
+            RooflineModel(mem_bandwidths=(("l2", 64.0),))  # no dram
+
+    @given(st.integers(1, 32), st.floats(0.01, 4.0))
+    def test_attainable_monotone_in_lanes(self, lanes, oi_value):
+        roofline = RooflineModel()
+        oi = OIValue.uniform(oi_value)
+        assert roofline.attainable(lanes + 1, oi) >= roofline.attainable(lanes, oi)

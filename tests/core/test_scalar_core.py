@@ -1,0 +1,219 @@
+"""Scalar-core interpreter semantics, driven by hand-assembled programs."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import experiment_config
+from repro.common.errors import SimulationError
+from repro.coproc.coprocessor import CoProcessor, SharingMode
+from repro.coproc.metrics import Metrics
+from repro.core.lane_manager import StaticLaneManager
+from repro.core.scalar_core import ScalarCore
+from repro.isa.assembler import assemble
+from repro.memory.image import MemoryImage
+
+SETVL = """
+setvl:
+    msr <VL>, #8
+    mrs X3, <status>
+    b.ne X3, #1, setvl
+"""
+
+
+def machine_for(source, arrays=None, core_id=0, lanes_plan=None):
+    config = experiment_config()
+    metrics = Metrics(config.num_cores, config.vector.total_lanes, 2)
+    manager = StaticLaneManager(lanes_plan or {0: 16, 1: 16})
+    coproc = CoProcessor(config, SharingMode.SPATIAL, metrics, manager)
+    image = MemoryImage.for_core(core_id)
+    for name, data in (arrays or {}).items():
+        image.add_array(name, np.asarray(data, dtype=np.float32))
+    program = assemble(source)
+    core = ScalarCore(core_id, program, image, coproc, metrics, config.core)
+    return core, coproc, image
+
+
+def run(core, coproc, max_cycles=50_000):
+    cycle = 0
+    while not (core.halted and coproc.drained(core.core_id)):
+        core.step(cycle)
+        coproc.step(cycle)
+        cycle += 1
+        if cycle > max_cycles:
+            raise AssertionError("program did not terminate")
+    return cycle
+
+
+class TestScalarSemantics:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("add", 7, 5, 12),
+            ("sub", 7, 5, 2),
+            ("mul", 7, 5, 35),
+            ("div", 7, 5, 1.4),
+            ("rem", 7, 5, 2),
+            ("min", 7, 5, 5),
+            ("max", 7, 5, 7),
+            ("and", 6, 3, 2),
+            ("or", 6, 3, 7),
+            ("lsl", 3, 2, 12),
+            ("lsr", 12, 2, 3),
+        ],
+    )
+    def test_alu(self, op, a, b, expected):
+        core, coproc, _ = machine_for(
+            f"mov Xa, #{a}\nmov Xb, #{b}\n{op} Xc, Xa, Xb\nhalt"
+        )
+        run(core, coproc)
+        assert core.regs["Xc"] == pytest.approx(expected)
+
+    def test_division_by_zero_yields_zero(self):
+        core, coproc, _ = machine_for("mov Xa, #3\ndiv Xc, Xa, #0\nhalt")
+        run(core, coproc)
+        assert core.regs["Xc"] == 0
+
+    def test_branch_loop(self):
+        source = """
+            mov Xi, #0
+        top:
+            add Xi, Xi, #1
+            b.lt Xi, #5, top
+            halt
+        """
+        core, coproc, _ = machine_for(source)
+        run(core, coproc)
+        assert core.regs["Xi"] == 5
+
+    def test_addvl_uses_configured_length(self):
+        core, coproc, _ = machine_for(SETVL + "mov Xi, #0\naddvl Xi, Xi\nhalt")
+        run(core, coproc)
+        assert core.regs["Xi"] == 8 * 4  # 8 lanes * 4 fp32 elements
+
+
+class TestVectorSemantics:
+    def test_predicated_tail(self):
+        source = SETVL + """
+            mov Xi, #0
+            mov Xn, #10
+            whilelt p0, Xi, Xn
+            ld1w z0, [a, Xi], p0
+            fadd z1, z0, #1.0, p0
+            st1w z1, [b, Xi], p0
+            halt
+        """
+        core, coproc, image = machine_for(
+            source, arrays={"a": np.ones(40), "b": np.zeros(40)}
+        )
+        run(core, coproc)
+        np.testing.assert_allclose(image.array("b")[:10], 2.0)
+        np.testing.assert_allclose(image.array("b")[10:], 0.0)
+
+    def test_merging_predication_preserves_inactive_lanes(self):
+        source = SETVL + """
+            mov Xz, #0
+            mov Xfull, #32
+            whilelt p0, Xz, Xfull
+            fdup z0, #5.0, p0
+            mov Xtwo, #2
+            whilelt p1, Xz, Xtwo
+            fdup z0, #9.0, p1
+            halt
+        """
+        core, coproc, _ = machine_for(source)
+        run(core, coproc)
+        values = core.vregs["z0"]
+        assert values[0] == 9.0 and values[1] == 9.0
+        assert values[2] == 5.0  # inactive lanes merged, not zeroed
+
+    def test_hreduce_blocks_scalar_reader(self):
+        source = SETVL + """
+            mov Xi, #0
+            mov Xn, #32
+            whilelt p0, Xi, Xn
+            ld1w z0, [a, Xi], p0
+            faddv Xs, z0
+            add Xt, Xs, #1
+            halt
+        """
+        core, coproc, _ = machine_for(source, arrays={"a": np.full(40, 2.0)})
+        run(core, coproc)
+        assert core.regs["Xt"] == pytest.approx(65.0)
+
+    def test_out_of_bounds_load_raises(self):
+        source = SETVL + """
+            mov Xi, #0
+            mov Xn, #64
+            whilelt p0, Xi, Xn
+            ld1w z0, [a, Xi], p0
+            halt
+        """
+        core, coproc, _ = machine_for(source, arrays={"a": np.zeros(8)})
+        with pytest.raises(SimulationError):
+            run(core, coproc)
+
+    def test_sve_scalar_broadcast(self):
+        source = SETVL + """
+            mov Xk, #3.0
+            mov Xz, #0
+            mov Xfull, #32
+            whilelt p0, Xz, Xfull
+            fdup z0, #2.0, p0
+            fmul z1, z0, Xk, p0
+            faddv Xs, z1
+            halt
+        """
+        core, coproc, _ = machine_for(source)
+        run(core, coproc)
+        assert core.regs["Xs"] == pytest.approx(2.0 * 3.0 * 32)
+
+
+class TestEmSimdInteraction:
+    def test_vl_request_grants_lanes(self):
+        core, coproc, _ = machine_for(SETVL + "halt")
+        run(core, coproc)
+        assert coproc.configured_vl(0) == 8
+        assert coproc.lane_table.owned_count(0) == 8
+
+    def test_out_of_range_request_trips_protocol_check(self):
+        # Requesting more lanes than physically exist is a protocol error
+        # surfaced when the co-processor executes the MSR.
+        core, coproc, _ = machine_for("msr <VL>, #33\nhalt")
+        with pytest.raises(SimulationError):
+            run(core, coproc)
+
+    def test_mrs_decision_is_speculative(self):
+        # Before any phase event no plan exists (decision 0); after an
+        # MSR <OI> the plan is published and the speculative read sees it.
+        source = """
+            mrs Xbefore, <decision>
+            msr <OI>, #(0.5, 0.5)
+            mrs X3, <status>
+            mrs Xafter, <decision>
+            halt
+        """
+        core, coproc, _ = machine_for(source)
+        run(core, coproc)
+        assert core.regs["Xbefore"] == 0
+        assert core.regs["Xafter"] == 16  # the static plan
+
+    def test_mrs_status_synchronises_with_msr(self):
+        core, coproc, _ = machine_for(SETVL + "mrs Xa, <AL>\nhalt")
+        run(core, coproc)
+        assert core.regs["Xa"] == 24  # 32 total - 8 granted
+
+    def test_msr_oi_marks_phase(self):
+        source = """
+            mov Xoi, #(0.5, 0.25)
+            msr <OI>, Xoi
+            mrs X3, <status>
+            mov Xz, #0
+            msr <OI>, #(0, 0)
+            mrs X3, <status>
+            halt
+        """
+        core, coproc, _ = machine_for(source)
+        run(core, coproc)
+        phases = core.metrics.phases_of(0)
+        assert len(phases) == 1
+        assert phases[0].oi.issue == 0.5

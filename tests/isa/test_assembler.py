@@ -1,0 +1,164 @@
+"""The textual assembler (round trips, errors, Fig. 9 snippets)."""
+
+import pytest
+
+from repro.common.errors import AssemblyError
+from repro.isa.assembler import assemble, parse_line
+from repro.isa.instructions import (
+    MRS,
+    MSR,
+    AddVL,
+    Branch,
+    Halt,
+    ScalarOp,
+    VHReduce,
+    VLoad,
+    VOp,
+    VStore,
+    WhileLT,
+)
+from repro.isa.operands import Imm, PReg, ScalarRef, VReg
+from repro.isa.registers import OIValue, SystemRegister
+
+FIG9_RETRY_LOOP = """
+// Fig. 9: Vector Length Reconfiguration
+L3: msr <VL>, X2
+    mrs X3, <status>
+    b.ne X3, #1, L3
+    halt
+"""
+
+
+class TestParseLine:
+    def test_scalar_ops(self):
+        instr = parse_line("add Xi, Xi, #4")
+        assert isinstance(instr, ScalarOp)
+        assert instr.srcs == ("Xi", Imm(4))
+
+    def test_mov_immediate_float(self):
+        instr = parse_line("mov Xa, #0.5")
+        assert instr.srcs == (Imm(0.5),)
+
+    def test_msr_oi_pair(self):
+        instr = parse_line("msr <OI>, #(0.5, 0.25)")
+        assert isinstance(instr, MSR)
+        assert instr.src == Imm(OIValue(0.5, 0.25))
+
+    def test_mrs(self):
+        instr = parse_line("mrs X4, <decision>")
+        assert isinstance(instr, MRS)
+        assert instr.sysreg is SystemRegister.DECISION
+
+    def test_branches(self):
+        assert parse_line("b top") == Branch("al", "top")
+        cond = parse_line("b.ge Xi, Xn, exit")
+        assert cond == Branch("ge", "exit", "Xi", "Xn")
+
+    def test_whilelt(self):
+        instr = parse_line("whilelt p0, Xi, Xn")
+        assert isinstance(instr, WhileLT)
+        assert instr.pdst == PReg("p0")
+
+    def test_load_store_with_predicate(self):
+        load = parse_line("ld1w z1, [a, Xi], p0")
+        assert load == VLoad(VReg("z1"), "a", "Xi", pred=PReg("p0"))
+        store = parse_line("st1w z2, [out, Xi]")
+        assert store == VStore(VReg("z2"), "out", "Xi", pred=None)
+
+    def test_vector_compute(self):
+        instr = parse_line("fadd z3, z1, z2, p0")
+        assert instr == VOp("add", VReg("z3"), (VReg("z1"), VReg("z2")), pred=PReg("p0"))
+
+    def test_fma_three_sources(self):
+        instr = parse_line("ffma z4, z1, z2, z3")
+        assert isinstance(instr, VOp)
+        assert instr.op == "fma"
+        assert len(instr.srcs) == 3
+
+    def test_broadcast_and_immediate_sources(self):
+        instr = parse_line("fmul z1, z0, Xa")
+        assert instr.srcs == (VReg("z0"), ScalarRef("Xa"))
+        instr = parse_line("fdup z1, #0.0")
+        assert instr.srcs == (Imm(0.0),)
+
+    def test_reduction(self):
+        instr = parse_line("faddv Xr, z7")
+        assert instr == VHReduce("add", "Xr", VReg("z7"), pred=None)
+
+    def test_addvl_and_halt(self):
+        assert isinstance(parse_line("addvl Xi, Xi"), AddVL)
+        assert isinstance(parse_line("halt"), Halt)
+
+    def test_comments_and_blank(self):
+        assert parse_line("  // nothing") is None
+        assert parse_line("; nothing") is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "frobnicate z1, z2",
+            "msr <nope>, X1",
+            "b.?? X1, X2, top",
+            "ld1w z1, a, Xi",
+            "add Xi",
+            "mov Xa, #zz",
+        ],
+    )
+    def test_errors(self, bad):
+        with pytest.raises(AssemblyError):
+            parse_line(bad)
+
+
+class TestAssemble:
+    def test_fig9_retry_loop(self):
+        program = assemble(FIG9_RETRY_LOOP)
+        assert program.target("L3") == 0
+        kinds = [type(i).__name__ for i in program]
+        assert kinds == ["Label", "MSR", "MRS", "Branch", "Halt"]
+
+    def test_label_on_own_line(self):
+        program = assemble("top:\n  b top\n  halt")
+        assert program.target("top") == 0
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError, match=":3:"):
+            assemble("mov X0, #1\nmov X1, #2\nbogus X2")
+
+    def test_disassemble_reassembles(self):
+        program = assemble(FIG9_RETRY_LOOP, name="fig9")
+        text = program.disassemble()
+        assert "msr <VL>, X2" in text
+
+    def test_executes_on_machine(self, config):
+        # A hand-written vector program must actually run.
+        from repro import Job, PRIVATE, run_policy
+        from repro.memory.image import MemoryImage
+
+        source = """
+        setvl:                      // configure the vector length first
+            msr <VL>, #16
+            mrs X3, <status>
+            b.ne X3, #1, setvl
+            mov Xi, #0
+            mov Xn, #100
+        loop:
+            b.ge Xi, Xn, done
+            whilelt p0, Xi, Xn
+            ld1w z0, [a, Xi], p0
+            fmul z1, z0, #2.0, p0
+            st1w z1, [b, Xi], p0
+            addvl Xi, Xi
+            b loop
+        done:
+            faddv Xs, z1
+            halt
+        """
+        program = assemble(source, name="hand")
+        image = MemoryImage.for_core(0)
+        import numpy as np
+
+        image.add_array("a", np.ones(128, dtype=np.float32))
+        image.zeros("b", 128)
+        run_policy(config, PRIVATE, [Job(program, image), None])
+        np.testing.assert_allclose(image.array("b")[:100], 2.0)
+        np.testing.assert_allclose(image.array("b")[100:], 0.0)

@@ -1,0 +1,110 @@
+"""Instruction validation, classification and disassembly."""
+
+import pytest
+
+from repro.isa.instructions import (
+    MRS,
+    MSR,
+    AddVL,
+    Branch,
+    Halt,
+    InstructionClass,
+    Label,
+    ScalarOp,
+    VHReduce,
+    VLoad,
+    VOp,
+    VStore,
+    WhileLT,
+)
+from repro.isa.operands import Imm, PReg, ScalarRef, VReg
+from repro.isa.registers import DECISION, VL
+
+
+class TestClassification:
+    def test_scalar_family(self):
+        assert ScalarOp("mov", "X0", (Imm(1),)).iclass is InstructionClass.SCALAR
+        assert Branch("al", "top").iclass is InstructionClass.SCALAR
+        assert AddVL("Xi", "Xi").iclass is InstructionClass.SCALAR
+        assert Halt().iclass is InstructionClass.SCALAR
+
+    def test_sve_families(self):
+        load = VLoad(VReg("z0"), "a", "Xi")
+        store = VStore(VReg("z0"), "a", "Xi")
+        compute = VOp("add", VReg("z2"), (VReg("z0"), VReg("z1")))
+        assert load.iclass is InstructionClass.SVE_LDST
+        assert store.iclass is InstructionClass.SVE_LDST
+        assert compute.iclass is InstructionClass.SVE_COMPUTE
+        assert load.is_load and not store.is_load
+
+    def test_emsimd_family(self):
+        assert MSR(VL, Imm(4)).iclass is InstructionClass.EM_SIMD
+        assert MRS("X0", DECISION).iclass is InstructionClass.EM_SIMD
+
+    def test_is_vector(self):
+        assert MSR(VL, Imm(4)).is_vector
+        assert VLoad(VReg("z0"), "a", "Xi").is_vector
+        assert not ScalarOp("mov", "X0", (Imm(1),)).is_vector
+
+
+class TestValidation:
+    def test_scalar_op_arity(self):
+        with pytest.raises(ValueError):
+            ScalarOp("add", "X0", (Imm(1),))
+        with pytest.raises(ValueError):
+            ScalarOp("mov", "X0", (Imm(1), Imm(2)))
+
+    def test_unknown_scalar_op(self):
+        with pytest.raises(ValueError):
+            ScalarOp("xor", "X0", (Imm(1), Imm(2)))
+
+    def test_branch_needs_comparands(self):
+        with pytest.raises(ValueError):
+            Branch("eq", "top")
+
+    def test_unknown_branch_cond(self):
+        with pytest.raises(ValueError):
+            Branch("??", "top", "X0", "X1")
+
+    def test_vop_arity(self):
+        with pytest.raises(ValueError):
+            VOp("fma", VReg("z0"), (VReg("z1"), VReg("z2")))
+        with pytest.raises(ValueError):
+            VOp("neg", VReg("z0"), (VReg("z1"), VReg("z2")))
+
+    def test_unknown_vop(self):
+        with pytest.raises(ValueError):
+            VOp("bogus", VReg("z0"), (VReg("z1"), VReg("z2")))
+
+    def test_reduction_ops(self):
+        with pytest.raises(ValueError):
+            VHReduce("mul", "X0", VReg("z0"))
+
+    def test_operand_name_conventions(self):
+        with pytest.raises(ValueError):
+            VReg("x0")
+        with pytest.raises(ValueError):
+            PReg("z0")
+
+
+class TestProperties:
+    def test_flops_per_element(self):
+        assert VOp("fma", VReg("z0"), (VReg("z1"), VReg("z2"), VReg("z3"))).flops_per_element == 2
+        assert VOp("add", VReg("z0"), (VReg("z1"), VReg("z2"))).flops_per_element == 1
+        assert VOp("dup", VReg("z0"), (Imm(0.0),)).flops_per_element == 0
+
+    def test_long_latency_ops(self):
+        assert VOp("div", VReg("z0"), (VReg("z1"), VReg("z2"))).is_long_latency
+        assert VOp("sqrt", VReg("z0"), (VReg("z1"),)).is_long_latency
+        assert not VOp("mul", VReg("z0"), (VReg("z1"), VReg("z2"))).is_long_latency
+
+
+class TestDisassembly:
+    def test_texts(self):
+        assert "msr <VL>" in MSR(VL, "X2").text()
+        assert "mrs X4, <decision>" == MRS("X4", DECISION).text()
+        assert "whilelt" in WhileLT(PReg("p0"), "Xi", "Xn").text()
+        assert "ld1w" in VLoad(VReg("z1"), "a", "Xi").text()
+        assert "st1w" in VStore(VReg("z1"), "a", "Xi").text()
+        assert "(p0)" in VOp("add", VReg("z0"), (VReg("z1"), VReg("z2")), pred=PReg("p0")).text()
+        assert Label("top").text() == "top:"

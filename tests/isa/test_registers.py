@@ -1,0 +1,50 @@
+"""EM-SIMD dedicated registers and OI values (Table 1)."""
+
+import pytest
+
+from repro.isa.registers import AL, DECISION, OI, STATUS, VL, OIValue, SystemRegister
+
+
+class TestSystemRegisters:
+    def test_five_dedicated_registers(self):
+        assert len(SystemRegister) == 5
+
+    def test_aliases(self):
+        assert OI is SystemRegister.OI
+        assert DECISION is SystemRegister.DECISION
+        assert VL is SystemRegister.VL
+        assert STATUS is SystemRegister.STATUS
+        assert AL is SystemRegister.AL
+
+    def test_str_matches_paper_notation(self):
+        assert str(SystemRegister.VL) == "<VL>"
+        assert str(SystemRegister.DECISION) == "<decision>"
+
+
+class TestOIValue:
+    def test_phase_end_sentinel(self):
+        assert OIValue.ZERO.is_phase_end
+        assert not OIValue(0.5, 0.25).is_phase_end
+
+    def test_uniform_no_reuse(self):
+        oi = OIValue.uniform(0.25)
+        assert oi.issue == oi.mem == 0.25
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OIValue(-0.1, 0.2)
+
+    def test_default_level_is_dram(self):
+        assert OIValue(0.5, 0.25).level == "dram"
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            OIValue(0.5, 0.25, level="l3")
+
+    def test_str(self):
+        assert str(OIValue(0.5, 0.25)) == "(0.5,0.25)"
+
+    def test_immutability(self):
+        oi = OIValue(0.5, 0.25)
+        with pytest.raises(AttributeError):
+            oi.issue = 1.0

@@ -1,0 +1,93 @@
+"""The shared Vec Cache -> L2 -> DRAM hierarchy."""
+
+import pytest
+
+from repro.common.config import CacheConfig, MemoryConfig
+from repro.memory.hierarchy import VectorMemorySystem
+
+
+def tiny_memory():
+    return MemoryConfig(
+        vec_cache=CacheConfig(size_bytes=4096, ways=4, line_bytes=64, latency=5, bytes_per_cycle=1024),
+        l2=CacheConfig(size_bytes=16384, ways=4, line_bytes=64, latency=18, bytes_per_cycle=64),
+        dram_latency=120,
+        dram_bytes_per_cycle=32,
+    )
+
+
+class TestAccessLevels:
+    def test_cold_access_reaches_dram(self):
+        memory = VectorMemorySystem(tiny_memory())
+        result = memory.access(0, 64, 0, is_store=False)
+        assert result.dram_accesses == 1
+        assert result.deepest_level == "dram"
+        assert result.complete_cycle >= 5 + 18 + 120
+
+    def test_second_access_hits_vec_cache(self):
+        memory = VectorMemorySystem(tiny_memory())
+        memory.access(0, 64, 0, is_store=False)
+        result = memory.access(0, 64, 200, is_store=False)
+        assert result.vec_cache_hits == 1
+        assert result.deepest_level == "vec_cache"
+        assert result.complete_cycle <= 200 + 6
+
+    def test_l2_hit_after_vec_cache_eviction(self):
+        config = tiny_memory()
+        memory = VectorMemorySystem(config)
+        # Stream more than the Vec Cache but less than L2.
+        for addr in range(0, 8192, 64):
+            memory.access(addr, 64, 0, is_store=False)
+        result = memory.access(0, 64, 10_000, is_store=False)
+        assert result.l2_hits == 1
+        assert result.deepest_level == "l2"
+
+    def test_multi_line_access(self):
+        memory = VectorMemorySystem(tiny_memory())
+        result = memory.access(0, 256, 0, is_store=False)
+        assert result.lines == 4
+
+    def test_empty_access(self):
+        memory = VectorMemorySystem(tiny_memory())
+        result = memory.access(0, 0, 7, is_store=False)
+        assert result.complete_cycle == 7
+        assert result.lines == 0
+
+
+class TestBandwidthContention:
+    def test_dram_bandwidth_bounds_streaming(self):
+        config = tiny_memory()
+        memory = VectorMemorySystem(config)
+        total_bytes = 64 * 1024
+        finish = 0.0
+        for addr in range(0, total_bytes, 64):
+            finish = memory.access(addr, 64, 0, is_store=False).complete_cycle
+        # Streaming must take at least bytes / DRAM bandwidth.
+        assert finish >= total_bytes / config.dram_bytes_per_cycle
+
+    def test_two_streams_share_dram(self):
+        config = tiny_memory()
+        memory = VectorMemorySystem(config)
+        solo_finish = 0.0
+        for addr in range(0, 16384, 64):
+            solo_finish = memory.access(addr, 64, 0, False).complete_cycle
+        shared = VectorMemorySystem(config)
+        finish = 0.0
+        for addr in range(0, 16384, 64):
+            shared.access(1 << 20 | addr, 64, 0, False)
+            finish = shared.access(addr, 64, 0, False).complete_cycle
+        assert finish > solo_finish * 1.5
+
+
+class TestWritebacks:
+    def test_dirty_evictions_consume_l2_bandwidth(self):
+        config = tiny_memory()
+        memory = VectorMemorySystem(config)
+        for addr in range(0, 8192, 64):
+            memory.access(addr, 64, 0, is_store=True)
+        assert memory.vec_cache.stats.writebacks > 0
+
+    def test_reset_bandwidth(self):
+        memory = VectorMemorySystem(tiny_memory())
+        memory.access(0, 64, 0, False)
+        memory.reset_bandwidth()
+        assert memory.dram_bw.bytes_served == 0

@@ -1,0 +1,70 @@
+"""Functional memory image: layout and isolation."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.memory.image import ARRAY_ALIGN, CORE_ADDRESS_STRIDE, MemoryImage
+
+
+class TestLayout:
+    def test_addresses_are_aligned_and_disjoint(self):
+        image = MemoryImage()
+        image.zeros("a", 100)
+        image.zeros("b", 100)
+        addr_a = image.address_of("a", 0)
+        addr_b = image.address_of("b", 0)
+        assert addr_a % ARRAY_ALIGN == 0
+        assert addr_b % ARRAY_ALIGN == 0
+        assert addr_b >= addr_a + 400
+
+    def test_element_addressing(self):
+        image = MemoryImage()
+        image.zeros("a", 16)
+        assert image.address_of("a", 3) == image.address_of("a", 0) + 12
+
+    def test_core_address_spaces_disjoint(self):
+        image0 = MemoryImage.for_core(0)
+        image1 = MemoryImage.for_core(1)
+        image0.zeros("a", 1 << 20)
+        image1.zeros("a", 1 << 20)
+        assert image1.address_of("a", 0) - image0.address_of("a", 0) == CORE_ADDRESS_STRIDE
+
+    def test_float32_conversion(self):
+        image = MemoryImage()
+        stored = image.add_array("a", np.arange(4, dtype=np.float64))
+        assert stored.dtype == np.float32
+
+
+class TestErrors:
+    def test_duplicate_rejected(self):
+        image = MemoryImage()
+        image.zeros("a", 4)
+        with pytest.raises(SimulationError):
+            image.zeros("a", 4)
+
+    def test_unknown_array(self):
+        with pytest.raises(SimulationError):
+            MemoryImage().array("missing")
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        image = MemoryImage()
+        image.zeros("a", 4)
+        clone = image.copy()
+        clone.array("a")[0] = 5.0
+        assert image.array("a")[0] == 0.0
+
+    def test_copy_preserves_layout(self):
+        image = MemoryImage.for_core(1)
+        image.zeros("a", 4)
+        clone = image.copy()
+        assert clone.address_of("a", 0) == image.address_of("a", 0)
+
+    def test_footprint(self):
+        image = MemoryImage()
+        image.zeros("a", 100)
+        assert image.footprint_bytes() == 400
+        assert "a" in image
+        assert [name for name, _ in image] == ["a"]

@@ -1,0 +1,93 @@
+"""Synthetic workload generator: OI calibration guarantees."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import CompilationError
+from repro.compiler.phase_analysis import analyze_loop
+from repro.compiler.vectorizer import vectorize_loop
+from repro.workloads.synth import (
+    Counts,
+    resident_repeats,
+    solve_counts,
+    synth_loop,
+    synth_phase,
+)
+
+
+class TestCounts:
+    def test_oi_formulas(self):
+        counts = Counts(comp=4, reads=3, extra_loads=2, stores=1)
+        assert counts.oi_mem == pytest.approx(0.25)
+        assert counts.oi_issue == pytest.approx(1 / 6)
+
+    def test_validation(self):
+        with pytest.raises(CompilationError):
+            Counts(comp=0, reads=1, extra_loads=0, stores=1)
+        with pytest.raises(CompilationError):
+            Counts(comp=1, reads=2, extra_loads=3, stores=1)  # extras > reads
+        with pytest.raises(CompilationError):
+            Counts(comp=1, reads=5, extra_loads=0, stores=1)  # tree too big
+
+
+class TestSolveCounts:
+    @pytest.mark.parametrize(
+        "target", [0.06, 0.083, 0.09, 0.11, 0.13, 0.17, 0.25, 0.32, 0.56, 0.75, 1.0, 1.83]
+    )
+    def test_targets_within_tolerance(self, target):
+        counts = solve_counts(target)
+        assert abs(counts.oi_mem - target) / target < 0.16
+
+    def test_data_reuse_target(self):
+        counts = solve_counts(0.25, oi_issue=1 / 6)
+        assert counts.oi_mem == pytest.approx(0.25, rel=0.05)
+        assert counts.oi_issue == pytest.approx(1 / 6, rel=0.05)
+        assert counts.extra_loads > 0
+
+    def test_min_footprint(self):
+        counts = solve_counts(0.25, min_footprint=3)
+        assert counts.footprint_arrays >= 3
+
+    def test_bad_target(self):
+        with pytest.raises(CompilationError):
+            solve_counts(0.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(0.06, 1.9))
+    def test_solver_always_close(self, target):
+        counts = solve_counts(target)
+        assert abs(counts.oi_mem - target) / target < 0.25
+
+
+class TestSynthLoop:
+    def test_generated_mix_matches_counts_exactly(self):
+        counts = solve_counts(0.25, oi_issue=1 / 6)
+        loop = synth_loop("t", counts, trip_count=256)
+        info = analyze_loop(loop)
+        assert info.comp_insts == counts.comp
+        assert info.load_insts == counts.loads
+        assert info.store_insts == counts.stores
+        assert info.footprint_arrays == counts.footprint_arrays
+
+    def test_generated_loop_vectorizes(self):
+        for target in (0.06, 0.25, 1.0, 1.83):
+            loop = synth_loop("t", solve_counts(target), trip_count=256)
+            vectorize_loop(loop)  # must fit the register budget
+
+    def test_streaming_phase_has_large_footprint(self):
+        loop = synth_phase("p", 0.09, scale=0.1)
+        info = analyze_loop(loop)
+        assert info.total_footprint_bytes > 128 * 1024  # exceeds scaled L2
+
+    def test_resident_phase_fits_vec_cache(self):
+        loop = synth_phase("p", 1.0, scale=0.1)
+        info = analyze_loop(loop)
+        assert info.total_footprint_bytes <= 32 * 1024
+
+    def test_scale_controls_repeats(self):
+        small = synth_phase("p", 1.0, scale=0.05)
+        large = synth_phase("p", 1.0, scale=1.0)
+        assert large.repeats > small.repeats
+
+    def test_resident_repeats_monotone(self):
+        assert resident_repeats(4, 1024, 1.0) > resident_repeats(20, 1024, 1.0)
