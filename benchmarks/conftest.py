@@ -24,6 +24,25 @@ def bench_scale() -> float:
     return BENCH_SCALE
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _fresh_result_cache(tmp_path_factory):
+    """Point the persistent result cache at a per-session directory.
+
+    Benchmarks time *simulations*; a warm ``~/.cache/repro`` would quietly
+    turn them into deserialisation benchmarks.  A fresh directory keeps
+    every session cold (and the user's real cache untouched) while still
+    letting figures share results within the session.
+    """
+    cache_dir = tmp_path_factory.mktemp("bench-result-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under the benchmark timer."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,8 +1,17 @@
 """Experiment drivers — one per evaluation figure/table (paper §7).
 
-All drivers share a memoised sweep cache so Fig. 10 (speedups), Fig. 11
+All drivers share a two-level result cache so Fig. 10 (speedups), Fig. 11
 (utilisation), Fig. 13 (renaming stalls) and Fig. 15 (overhead) reuse the
-same 25-pair x 4-policy simulations instead of re-running them.
+same 25-pair x 4-policy simulations instead of re-running them:
+
+* an in-process memo keyed by (pair, policy, scale, config fingerprint);
+* the persistent on-disk layer of :mod:`repro.analysis.result_cache`,
+  shared across processes and invocations (disable with ``--no-cache`` /
+  ``REPRO_NO_CACHE``).
+
+Passing ``jobs`` (or setting ``REPRO_JOBS``) fans cache misses out across
+worker processes via :mod:`repro.analysis.parallel`; results are
+bit-identical to the serial path.
 """
 
 from __future__ import annotations
@@ -10,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.common.config import MachineConfig, experiment_config
+from repro.common.config import MachineConfig, config_fingerprint, experiment_config
 from repro.compiler.ir import Kernel
 from repro.compiler.pipeline import CompileOptions, build_image, compile_kernel
 from repro.coproc.coprocessor import SharingMode
@@ -20,12 +29,10 @@ from repro.core.machine import Job, RunResult, run_policy
 from repro.core.policies import ALL_POLICIES, PRIVATE, Policy
 from repro.core.roofline import RooflineModel
 from repro.isa.registers import OIValue
-from repro.workloads.motivating import motivating_pair
 from repro.workloads.pairs import (
     FOUR_CORE_GROUPS,
     CoRunPair,
     all_pairs,
-    jobs_for_group,
     jobs_for_pair,
     workload_job,
 )
@@ -37,18 +44,67 @@ DEFAULT_SCALE = 0.35
 _sweep_cache: Dict[Tuple[object, ...], RunResult] = {}
 
 
+def _memo_key(
+    pair: CoRunPair, policy_key: str, scale: float, config: MachineConfig
+) -> Tuple[object, ...]:
+    # The full config fingerprint (not just num_cores): any knob change —
+    # cache geometry, lane count, latencies — must be a miss.
+    return (str(pair), policy_key, scale, config_fingerprint(config))
+
+
+def lookup_sweep_memo(
+    pair: CoRunPair, policy_key: str, scale: float, config: MachineConfig
+) -> Optional[RunResult]:
+    """The memoised result for one sweep point, if present."""
+    return _sweep_cache.get(_memo_key(pair, policy_key, scale, config))
+
+
+def seed_sweep_memo(
+    pair: CoRunPair,
+    policy_key: str,
+    scale: float,
+    config: MachineConfig,
+    result: RunResult,
+) -> None:
+    """Install an externally computed result (the parallel engine's) so
+    later serial drivers reuse it."""
+    _sweep_cache[_memo_key(pair, policy_key, scale, config)] = result
+
+
 def clear_sweep_cache() -> None:
-    """Drop memoised simulation results (tests use this for isolation)."""
+    """Drop memoised simulation results — both the in-process memo and the
+    active persistent on-disk layer (tests use this for isolation)."""
+    from repro.analysis import result_cache
+
     _sweep_cache.clear()
+    disk = result_cache.default_cache()
+    if disk is not None:
+        disk.clear()
 
 
 def _cached_pair_run(
     pair: CoRunPair, policy: Policy, scale: float, config: MachineConfig
 ) -> RunResult:
-    key = (str(pair), policy.key, scale, config.num_cores, id(type(config)))
-    if key not in _sweep_cache:
-        _sweep_cache[key] = run_policy(config, policy, jobs_for_pair(pair, scale))
-    return _sweep_cache[key]
+    from repro.analysis import result_cache
+
+    key = _memo_key(pair, policy.key, scale, config)
+    hit = _sweep_cache.get(key)
+    if hit is not None:
+        return hit
+    jobs = jobs_for_pair(pair, scale)
+    disk = result_cache.default_cache()
+    disk_key = None
+    if disk is not None:
+        disk_key = result_cache.simulation_key(config, policy.key, jobs)
+        result = disk.get(disk_key)
+        if result is not None:
+            _sweep_cache[key] = result
+            return result
+    result = run_policy(config, policy, jobs)
+    if disk is not None:
+        disk.put(disk_key, result)
+    _sweep_cache[key] = result
+    return result
 
 
 @dataclass
@@ -82,9 +138,14 @@ def pair_outcome(
     scale: float = DEFAULT_SCALE,
     config: Optional[MachineConfig] = None,
     policies: Sequence[Policy] = ALL_POLICIES,
+    jobs: Optional[int] = None,
 ) -> PairOutcome:
     """Run (or fetch) one pair under every policy."""
+    from repro.analysis.parallel import resolve_jobs
+
     config = config or experiment_config()
+    if policies is ALL_POLICIES and resolve_jobs(jobs) > 1:
+        return sweep_pairs([pair], scale, config, jobs=jobs)[0]
     results = {
         policy.key: _cached_pair_run(pair, policy, scale, config)
         for policy in policies
@@ -96,9 +157,20 @@ def sweep_pairs(
     pairs: Optional[Sequence[CoRunPair]] = None,
     scale: float = DEFAULT_SCALE,
     config: Optional[MachineConfig] = None,
+    jobs: Optional[int] = None,
 ) -> List[PairOutcome]:
-    """The full Fig. 10/11/13/15 sweep (memoised)."""
-    return [pair_outcome(pair, scale, config) for pair in (pairs or all_pairs())]
+    """The full Fig. 10/11/13/15 sweep (memoised, optionally parallel).
+
+    ``jobs`` (default: ``$REPRO_JOBS``, else serial) fans the underlying
+    simulations across worker processes; the outcomes — and their order —
+    are bit-identical either way.
+    """
+    from repro.analysis.parallel import resolve_jobs, sweep_pairs_parallel
+
+    pairs = list(pairs) if pairs is not None else all_pairs()
+    if resolve_jobs(jobs) > 1:
+        return sweep_pairs_parallel(pairs, scale=scale, config=config, jobs=jobs)
+    return [pair_outcome(pair, scale, config) for pair in pairs]
 
 
 # --- Fig. 2: the motivating example ----------------------------------------
@@ -127,18 +199,18 @@ class MotivationResult:
 
 
 def motivation_fig2(
-    scale: float = 0.5, config: Optional[MachineConfig] = None
+    scale: float = 0.5,
+    config: Optional[MachineConfig] = None,
+    jobs: Optional[int] = None,
 ) -> MotivationResult:
-    """Run the §2 motivating example on all four architectures."""
-    config = config or experiment_config()
-    wl0, wl1 = motivating_pair(scale)
-    options = CompileOptions(memory=config.memory)
-    p0, p1 = compile_kernel(wl0, options), compile_kernel(wl1, options)
-    results = {}
-    for policy in ALL_POLICIES:
-        jobs = [Job(p0, build_image(wl0, 0)), Job(p1, build_image(wl1, 1))]
-        results[policy.key] = run_policy(config, policy, jobs)
-    return MotivationResult(results=results)
+    """Run the §2 motivating example on all four architectures.
+
+    Routed through the parallel engine so runs hit the persistent result
+    cache and ``jobs > 1`` fans the four policies across processes.
+    """
+    from repro.analysis.parallel import motivation_runs
+
+    return MotivationResult(results=motivation_runs(scale, config, jobs=jobs))
 
 
 # --- Fig. 14: case study with fixed lane counts ------------------------------
@@ -276,14 +348,14 @@ def four_core_fig16(
     scale: float = DEFAULT_SCALE,
     config: Optional[MachineConfig] = None,
     groups: Sequence[Sequence[int]] = FOUR_CORE_GROUPS,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, RunResult]]:
-    """Run each Fig. 16 group on the 4-core configuration, all policies."""
+    """Run each Fig. 16 group on the 4-core configuration, all policies.
+
+    Routed through the parallel engine (persistent cache + optional
+    process fan-out via ``jobs``/``REPRO_JOBS``).
+    """
+    from repro.analysis.parallel import four_core_runs
+
     config = config or experiment_config(num_cores=4)
-    results = []
-    for group in groups:
-        per_policy = {}
-        for policy in ALL_POLICIES:
-            jobs = jobs_for_group(group, scale=scale)
-            per_policy[policy.key] = run_policy(config, policy, jobs)
-        results.append(per_policy)
-    return results
+    return four_core_runs(scale, config, groups=groups, jobs=jobs)

@@ -141,14 +141,16 @@ def generate_report(
     scale: float = 0.4,
     pairs_limit: Optional[int] = 6,
     config: Optional[MachineConfig] = None,
+    jobs: Optional[int] = None,
 ) -> str:
-    """Build the Markdown report (runs the simulations)."""
+    """Build the Markdown report (runs the simulations; ``jobs`` fans them
+    across worker processes)."""
     config = config or experiment_config()
-    motivation = motivation_fig2(scale=scale, config=config)
+    motivation = motivation_fig2(scale=scale, config=config, jobs=jobs)
     pairs = all_pairs()
     if pairs_limit is not None:
         pairs = pairs[:pairs_limit]
-    outcomes = sweep_pairs(pairs, scale=scale, config=config)
+    outcomes = sweep_pairs(pairs, scale=scale, config=config, jobs=jobs)
     sections = [
         "# Occamy reproduction report\n",
         f"Workload scale {scale}; {config.num_cores} cores, "

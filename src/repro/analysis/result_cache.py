@@ -1,0 +1,220 @@
+"""Persistent on-disk cache of simulation results.
+
+Every paper figure boils down to a set of ``(MachineConfig, policy,
+program, memory image)`` simulations.  Those are deterministic, so their
+:class:`~repro.core.machine.RunResult` can be reused across *processes* —
+a warm re-run of a figure costs only compilation plus deserialisation.
+
+Keys are content hashes: the full configuration fingerprint, the policy
+key, each core's program text (including instrumentation metadata) and the
+initial bytes of each memory image.  Changing any input — a cache size, a
+compiler optimisation, a workload scale — changes the key, so stale
+entries are never returned; bump :data:`CACHE_VERSION` when the
+*simulator's timing semantics* change instead.
+
+Loads are corruption-tolerant: a truncated, unreadable or
+version-mismatched file is treated as a miss (the caller re-simulates),
+never an error.  Writes are atomic (temp file + rename) so a crashed or
+parallel writer cannot leave a half-written entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.common.config import MachineConfig, config_fingerprint
+from repro.core.machine import Job, RunResult
+
+#: Bump when simulation *semantics* change so old entries stop matching.
+CACHE_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Set (to any non-empty value) to disable the persistent layer entirely.
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+# --- content hashing ---------------------------------------------------------
+
+
+def _hash_meta_value(value: object) -> str:
+    """Canonical text for one program-metadata value.
+
+    Sets (the ``monitor``/``reconfig`` instruction-index sets) are sorted
+    so the hash does not depend on iteration order.
+    """
+    if isinstance(value, (set, frozenset)):
+        return repr(sorted(value))
+    if isinstance(value, (list, tuple)):
+        return repr([repr(item) for item in value])
+    return repr(value)
+
+
+def _feed_job(digest: "hashlib._Hash", job: Optional[Job]) -> None:
+    if job is None:
+        digest.update(b"\x00<idle core>\x00")
+        return
+    program = job.program
+    digest.update(program.name.encode("utf-8"))
+    digest.update(program.disassemble().encode("utf-8"))
+    for key in sorted(program.meta):
+        digest.update(key.encode("utf-8"))
+        digest.update(_hash_meta_value(program.meta[key]).encode("utf-8"))
+    image = job.image
+    digest.update(str(image.base_address).encode("utf-8"))
+    for name, array in image:
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+
+
+def simulation_key(
+    config: MachineConfig,
+    policy_key: str,
+    jobs: Sequence[Optional[Job]],
+    max_cycles: int = 3_000_000,
+    salt: str = "",
+) -> str:
+    """Content hash identifying one simulation's full input."""
+    digest = hashlib.sha256()
+    digest.update(f"v{CACHE_VERSION}".encode("utf-8"))
+    digest.update(config_fingerprint(config).encode("utf-8"))
+    digest.update(policy_key.encode("utf-8"))
+    digest.update(str(max_cycles).encode("utf-8"))
+    digest.update(salt.encode("utf-8"))
+    for job in jobs:
+        _feed_job(digest, job)
+    return digest.hexdigest()
+
+
+# --- the cache itself --------------------------------------------------------
+
+
+class ResultCache:
+    """A directory of pickled :class:`RunResult` objects keyed by hash."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key``, or ``None``.
+
+        Any failure to read or deserialise — missing file, truncation,
+        pickle corruption, a payload written by a different
+        :data:`CACHE_VERSION` — is a miss, never an exception.
+        """
+        try:
+            with open(self.path_for(key), "rb") as handle:
+                version, payload = pickle.load(handle)
+        except Exception:
+            self.misses += 1
+            return None
+        if version != CACHE_VERSION or not isinstance(payload, RunResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, result: RunResult) -> bool:
+        """Store ``result`` under ``key`` atomically; best-effort.
+
+        Returns False (without raising) when the cache directory is not
+        writable — persistence is an optimisation, never a requirement.
+        """
+        tmp_name = None
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=".write-", suffix=".tmp"
+            )
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(
+                    (CACHE_VERSION, result), handle, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            os.replace(tmp_name, self.path_for(key))
+            return True
+        except OSError:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            return False
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        try:
+            entries: Iterable[Path] = self.directory.glob("*.pkl")
+        except OSError:
+            return 0
+        for path in entries:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for _ in self.directory.glob("*.pkl"))
+        except OSError:
+            return 0
+
+
+# --- process-wide default cache ---------------------------------------------
+
+_default_cache: Optional[ResultCache] = None
+_disabled = False
+_pinned = False
+
+
+def configure(
+    cache_dir: Optional[os.PathLike] = None, disabled: bool = False
+) -> None:
+    """Set the process-wide default cache (CLI ``--cache-dir``/``--no-cache``)."""
+    global _default_cache, _disabled, _pinned
+    _disabled = disabled
+    _pinned = cache_dir is not None and not disabled
+    _default_cache = None if disabled else ResultCache(cache_dir)
+
+
+def default_cache() -> Optional[ResultCache]:
+    """The process-wide cache, or ``None`` when disabled.
+
+    Disabled by :func:`configure` (``--no-cache``) or the ``REPRO_NO_CACHE``
+    environment variable.  Unless :func:`configure` pinned a directory, the
+    environment is re-read on every call so test fixtures can redirect the
+    cache mid-process.
+    """
+    global _default_cache
+    if _disabled or os.environ.get(NO_CACHE_ENV):
+        return None
+    if _default_cache is None or (
+        not _pinned and _default_cache.directory != default_cache_dir()
+    ):
+        _default_cache = ResultCache()
+    return _default_cache

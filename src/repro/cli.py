@@ -19,6 +19,18 @@ Commands
     Render the motivating example's figures as SVG files.
 ``report OUT.md``
     Run a slice of the evaluation and write a Markdown report.
+
+Simulation commands accept three runtime options:
+
+``--jobs N``
+    Fan simulations across ``N`` worker processes (``0`` = all CPUs;
+    default ``$REPRO_JOBS``, else serial).  Results are bit-identical to
+    a serial run.
+``--cache-dir DIR``
+    Persistent result-cache location (default ``$REPRO_CACHE_DIR``, else
+    ``~/.cache/repro``); warm re-runs of a figure skip simulation.
+``--no-cache``
+    Disable the persistent cache for this invocation.
 """
 
 from __future__ import annotations
@@ -41,7 +53,7 @@ POLICY_KEYS = ("private", "fts", "vls", "occamy")
 
 
 def _cmd_motivate(args: argparse.Namespace) -> int:
-    result = motivation_fig2(scale=args.scale)
+    result = motivation_fig2(scale=args.scale, jobs=args.jobs)
     rows = []
     for key in POLICY_KEYS:
         run = result.results[key]
@@ -64,7 +76,7 @@ def _cmd_motivate(args: argparse.Namespace) -> int:
 
 def _cmd_pair(args: argparse.Namespace) -> int:
     pair = CoRunPair(args.suite, args.mem, args.comp)
-    outcome = pair_outcome(pair, scale=args.scale)
+    outcome = pair_outcome(pair, scale=args.scale, jobs=args.jobs)
     rows = []
     for key in POLICY_KEYS:
         rows.append(
@@ -130,7 +142,7 @@ def _cmd_area(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     pair = CoRunPair(args.suite, args.mem, args.comp)
-    outcome = pair_outcome(pair, scale=args.scale)
+    outcome = pair_outcome(pair, scale=args.scale, jobs=args.jobs)
     result = outcome.results["occamy"]
     export_trace(result, args.output)
     print(phase_gantt(result))
@@ -144,7 +156,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.analysis.plots import lane_timeline_svg, series_svg, write_svg
 
     os.makedirs(args.output_dir, exist_ok=True)
-    result = motivation_fig2(scale=args.scale)
+    result = motivation_fig2(scale=args.scale, jobs=args.jobs)
     occamy = result.results["occamy"]
     write_svg(
         lane_timeline_svg(
@@ -175,7 +187,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import write_report
 
-    write_report(args.output, scale=args.scale, pairs_limit=args.pairs)
+    write_report(args.output, scale=args.scale, pairs_limit=args.pairs, jobs=args.jobs)
     print(f"report written to {args.output}")
     return 0
 
@@ -187,11 +199,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    motivate = sub.add_parser("motivate", help="run the §2 motivating example")
+    # Shared runtime options for every command that runs simulations.
+    runtime = argparse.ArgumentParser(add_help=False)
+    runtime.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (0 = all CPUs; default $REPRO_JOBS, else serial)",
+    )
+    runtime.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent result-cache directory (default $REPRO_CACHE_DIR, "
+        "else ~/.cache/repro)",
+    )
+    runtime.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache",
+    )
+
+    motivate = sub.add_parser(
+        "motivate", help="run the §2 motivating example", parents=[runtime]
+    )
     motivate.add_argument("--scale", type=float, default=0.5)
     motivate.set_defaults(func=_cmd_motivate)
 
-    pair = sub.add_parser("pair", help="co-run one Table 3 pair")
+    pair = sub.add_parser(
+        "pair", help="co-run one Table 3 pair", parents=[runtime]
+    )
     pair.add_argument("suite", choices=("spec", "opencv"))
     pair.add_argument("mem", type=int)
     pair.add_argument("comp", type=int)
@@ -213,7 +251,9 @@ def build_parser() -> argparse.ArgumentParser:
     area.add_argument("--cores", type=int, default=2)
     area.set_defaults(func=_cmd_area)
 
-    trace = sub.add_parser("trace", help="export a JSON trace of a pair run")
+    trace = sub.add_parser(
+        "trace", help="export a JSON trace of a pair run", parents=[runtime]
+    )
     trace.add_argument("suite", choices=("spec", "opencv"))
     trace.add_argument("mem", type=int)
     trace.add_argument("comp", type=int)
@@ -221,12 +261,18 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--scale", type=float, default=0.3)
     trace.set_defaults(func=_cmd_trace)
 
-    figures = sub.add_parser("figures", help="render SVG figures")
+    figures = sub.add_parser(
+        "figures", help="render SVG figures", parents=[runtime]
+    )
     figures.add_argument("output_dir")
     figures.add_argument("--scale", type=float, default=0.4)
     figures.set_defaults(func=_cmd_figures)
 
-    report = sub.add_parser("report", help="write a Markdown reproduction report")
+    report = sub.add_parser(
+        "report",
+        help="write a Markdown reproduction report",
+        parents=[runtime],
+    )
     report.add_argument("output")
     report.add_argument("--scale", type=float, default=0.4)
     report.add_argument("--pairs", type=int, default=6)
@@ -238,6 +284,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "cache_dir", None) or getattr(args, "no_cache", False):
+        from repro.analysis import result_cache
+
+        result_cache.configure(
+            cache_dir=args.cache_dir, disabled=args.no_cache
+        )
     return args.func(args)
 
 

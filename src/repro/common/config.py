@@ -17,7 +17,10 @@ byte budget disagree) and ``dram_latency``.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Tuple
 
 from repro.common.errors import ConfigurationError
@@ -226,6 +229,29 @@ def experiment_config(num_cores: int = 2) -> MachineConfig:
         dram_bytes_per_cycle=32,
     )
     return MachineConfig(memory=memory).scaled_to_cores(num_cores)
+
+
+def canonical_config_dict(config: MachineConfig) -> Dict[str, object]:
+    """A plain nested dict of every configuration field.
+
+    Every leaf is an int/float/str, so the dict JSON-serialises losslessly —
+    the basis of :func:`config_fingerprint`.
+    """
+    return dataclasses.asdict(config)
+
+
+@lru_cache(maxsize=None)
+def config_fingerprint(config: MachineConfig) -> str:
+    """A stable content hash of a :class:`MachineConfig`.
+
+    Two configs hash equal iff every field (including nested cache/vector/
+    core geometry and timing) is equal — unlike ``id()``- or
+    ``num_cores``-based keys, any knob change invalidates derived caches.
+    Used to key both the in-memory sweep memo and the persistent on-disk
+    result cache.
+    """
+    payload = json.dumps(canonical_config_dict(config), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def describe(config: MachineConfig) -> Dict[str, Tuple[object, ...]]:

@@ -9,6 +9,7 @@ functional memory.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -92,9 +93,14 @@ def build_image(
 
     Arrays are filled with deterministic pseudo-random values in
     ``[0.5, 1.5)`` (strictly positive so ``div``/``sqrt`` stay benign);
-    reduction outputs become zeroed one-element arrays.
+    reduction outputs become zeroed one-element arrays.  The default seed
+    is a *stable* hash of the kernel name — ``hash()`` is randomised per
+    process, which would give every invocation different image bytes and
+    defeat the persistent result cache's content keys.
     """
-    rng = np.random.default_rng(seed if seed is not None else hash(kernel.name) % (2**32))
+    if seed is None:
+        seed = zlib.crc32(kernel.name.encode("utf-8"))
+    rng = np.random.default_rng(seed)
     image = MemoryImage.for_core(core_id)
     for name in sorted(kernel.arrays()):
         data = rng.random(kernel.array_length, dtype=np.float32) + np.float32(0.5)

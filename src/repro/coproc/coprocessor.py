@@ -18,6 +18,7 @@ is in program order per core).  Each cycle it:
 from __future__ import annotations
 
 import enum
+import math
 from typing import Dict, List, Optional
 
 from repro.common.config import MachineConfig
@@ -120,6 +121,49 @@ class CoProcessor:
 
     def set_core_active(self, core: int, active: bool) -> None:
         self.core_active[core] = active
+
+    # --- idle-cycle fast-forward hooks -------------------------------------
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle at which the engine's state can change.
+
+        Valid only immediately after a zero-progress :meth:`step`: with
+        nothing dispatched, executed or committed this cycle, the engine is
+        frozen until (a) an issued instruction completes, (b) a queued store
+        retires from an STQ, or (c) — under coarse temporal sharing — the
+        ownership quantum expires or the hand-over drain ends.  Returns the
+        first integer cycle at which any of those occur, or ``None`` when no
+        event is pending (the machine is deadlocked).
+        """
+        nxt = math.inf
+        for pool in self.pools:
+            completion = pool.next_completion(cycle)
+            if completion is not None and completion < nxt:
+                nxt = completion
+        for lsu in self.lsus:
+            retire = lsu.next_store_retire(cycle)
+            if retire is not None and retire < nxt:
+                nxt = retire
+        if self.mode is SharingMode.COARSE_TEMPORAL:
+            for boundary in (self._cts_blocked_until, self._cts_until):
+                if cycle < boundary < nxt:
+                    nxt = boundary
+        if nxt is math.inf:
+            return None
+        return int(math.ceil(nxt))
+
+    def skip_idle_cycles(self, cycles: int) -> None:
+        """Account for ``cycles`` elided zero-progress cycles.
+
+        The only engine state the per-cycle loop mutates during an idle
+        cycle is the dispatch-fairness rotation (advanced once per
+        :meth:`_dispatch` in the spatial/temporal modes); replay it so a
+        fast-forwarded run stays bit-identical to the cycle-by-cycle one.
+        """
+        if cycles <= 0:
+            return
+        if self.mode is not SharingMode.COARSE_TEMPORAL:
+            self._rotate = (self._rotate + cycles) % self.config.num_cores
 
     # --- per-cycle engine ---------------------------------------------------
 

@@ -112,6 +112,27 @@ class InstructionPool:
         """The oldest in-flight instruction."""
         return self._entries[0] if self._entries else None
 
+    def entries(self) -> List[DynamicInstruction]:
+        """All in-flight entries, oldest first (read-only view for tools)."""
+        return list(self._entries)
+
+    def next_completion(self, cycle: float) -> Optional[float]:
+        """Earliest future completion among already-issued entries.
+
+        Next-event hook for the idle-cycle fast-forward: while no entry
+        completes, a stalled window cannot commit, unblock dependants, free
+        physical registers or drain for an EM-SIMD barrier.
+        """
+        nxt: Optional[float] = None
+        for entry in self._entries:
+            if entry.state is EntryState.WAITING:
+                continue
+            if entry.complete_cycle > cycle and (
+                nxt is None or entry.complete_cycle < nxt
+            ):
+                nxt = entry.complete_cycle
+        return nxt
+
     def dispatchable(self) -> List[DynamicInstruction]:
         """Entries eligible for dispatch this cycle, oldest first.
 

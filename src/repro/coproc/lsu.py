@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.common.errors import SimulationError
 from repro.memory.hierarchy import AccessResult, VectorMemorySystem
@@ -81,3 +82,14 @@ class LoadStoreUnit:
     def on_cycle(self, cycle: float) -> None:
         """Housekeeping: retire completed stores from the STQ model."""
         self._drain_stores(cycle)
+
+    def next_store_retire(self, cycle: float) -> Optional[float]:
+        """Earliest future cycle a queued store retires (frees an STQ slot).
+
+        Next-event hook for the idle-cycle fast-forward: an STQ-full stall
+        can only clear when the oldest outstanding store completes.
+        """
+        for completion in self._store_completions:
+            if completion > cycle:
+                return completion
+        return None

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.timeline import BucketSeries, Timeline
 from repro.isa.registers import OIValue
@@ -87,6 +87,11 @@ class Metrics:
         self.monitor_cycles = [0] * num_cores
         self.reconfig_cycles = [0] * num_cores
         self.total_cycles = 0
+        #: Per-cycle event journal used by the idle-cycle fast-forward:
+        #: when armed (a list), stall/overhead increments of the current
+        #: cycle are recorded so :meth:`replay_idle_cycles` can repeat them
+        #: for skipped cycles bit-for-bit.
+        self._idle_log: Optional[List[Tuple[str, int, object]]] = None
 
     # --- co-processor events --------------------------------------------
 
@@ -107,6 +112,8 @@ class Metrics:
 
     def on_stall(self, core: int, reason: StallReason, cycle: int) -> None:
         self.stalls[core][reason] += 1
+        if self._idle_log is not None:
+            self._idle_log.append(("stall", core, reason))
 
     def on_lane_change(self, core: int, lanes: int, cycle: int) -> None:
         self.lane_timeline[core].record(cycle, lanes)
@@ -134,6 +141,34 @@ class Metrics:
             self.monitor_cycles[core] += 1
         else:
             self.reconfig_cycles[core] += 1
+        if self._idle_log is not None:
+            self._idle_log.append(("overhead", core, kind))
+
+    # --- idle-cycle fast-forward support ----------------------------------
+
+    def begin_idle_cycle(self) -> None:
+        """Arm (and reset) the per-cycle event journal.
+
+        The machine's fast-forward loop calls this before every
+        :meth:`~repro.core.machine.Machine.step`.  During a zero-progress
+        cycle the only metric mutations are stall attributions and EM-SIMD
+        overhead cycles, both pure per-cycle counter increments; the journal
+        captures exactly those so skipped idle cycles replay them verbatim.
+        """
+        self._idle_log = []
+
+    def replay_idle_cycles(self, times: int) -> None:
+        """Repeat the just-journalled idle cycle's increments ``times`` more
+        times — the accounting for cycles elided by the fast-forward."""
+        if times <= 0 or not self._idle_log:
+            return
+        for kind, core, what in self._idle_log:
+            if kind == "stall":
+                self.stalls[core][what] += times
+            elif what == "monitor":
+                self.monitor_cycles[core] += times
+            else:
+                self.reconfig_cycles[core] += times
 
     def on_core_done(self, core: int, cycle: int) -> None:
         if self.core_done_cycle[core] is None:

@@ -8,6 +8,7 @@ halts and drains.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -22,6 +23,16 @@ from repro.memory.image import MemoryImage
 
 #: Cycles without any retire/dispatch/commit before declaring deadlock.
 DEADLOCK_WINDOW = 100_000
+
+
+def default_fast_forward() -> bool:
+    """Whether :meth:`Machine.run` fast-forwards idle cycles by default.
+
+    On unless ``REPRO_NO_FAST_FORWARD`` is set (to any non-empty value);
+    the two modes are bit-identical — the switch exists for the
+    determinism test layer and for debugging the fast-forward itself.
+    """
+    return not os.environ.get("REPRO_NO_FAST_FORWARD")
 
 
 @dataclass
@@ -137,8 +148,59 @@ class Machine:
         """True when every workload has halted and drained."""
         return all(self._done)
 
-    def run(self, max_cycles: int = 3_000_000) -> RunResult:
-        """Simulate until every workload halts and drains."""
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle at which any component's state can change.
+
+        Only meaningful right after a zero-progress :meth:`step`; see
+        :meth:`CoProcessor.next_event_cycle` for the event sources.
+        """
+        candidates = [self.coproc.next_event_cycle(cycle)]
+        for core_id, core in enumerate(self.cores):
+            if core is not None and not self._done[core_id]:
+                candidates.append(core.next_event_cycle(cycle))
+        live = [c for c in candidates if c is not None]
+        return min(live) if live else None
+
+    def _fast_forward(self, cycle: int, last_progress: int, max_cycles: int) -> int:
+        """Jump the clock over known-idle cycles after a zero-progress step.
+
+        A zero-progress cycle leaves every pool, queue and register table
+        untouched, so each elided cycle would repeat exactly the metric
+        increments just journalled by the real step.  The jump is capped at
+        the deadlock horizon and at ``max_cycles`` so both failure paths
+        fire at the same cycle as the cycle-by-cycle loop; when no event is
+        pending at all, the machine is frozen and we jump straight to the
+        horizon.  Returns the cycle the caller should resume *after* (the
+        run loop's ``cycle += 1`` then lands on the first interesting one).
+        """
+        target = self.next_event_cycle(cycle)
+        horizon = last_progress + DEADLOCK_WINDOW + 1
+        if target is None:
+            target = horizon
+        target = min(target, horizon, max_cycles)
+        skipped = target - cycle - 1
+        if skipped > 0:
+            self.metrics.replay_idle_cycles(skipped)
+            self.coproc.skip_idle_cycles(skipped)
+            return cycle + skipped
+        return cycle
+
+    def run(
+        self,
+        max_cycles: int = 3_000_000,
+        fast_forward: Optional[bool] = None,
+    ) -> RunResult:
+        """Simulate until every workload halts and drains.
+
+        ``fast_forward`` elides stretches of cycles in which no core and no
+        co-processor structure can make progress (memory-latency drains,
+        EM-SIMD barriers) by jumping the clock to the next scheduled event.
+        The result is bit-identical to the cycle-by-cycle loop — the
+        determinism suite asserts it — and defaults to
+        :func:`default_fast_forward`.
+        """
+        if fast_forward is None:
+            fast_forward = default_fast_forward()
         cycle = 0
         last_progress = 0
         while not self.finished:
@@ -147,13 +209,18 @@ class Machine:
                     f"simulation exceeded {max_cycles} cycles "
                     f"(policy={self.policy.key})"
                 )
+            if fast_forward:
+                self.metrics.begin_idle_cycle()
             if self.step(cycle):
                 last_progress = cycle
-            elif cycle - last_progress > DEADLOCK_WINDOW:
-                raise DeadlockError(
-                    f"no forward progress since cycle {last_progress} "
-                    f"(policy={self.policy.key})"
-                )
+            else:
+                if cycle - last_progress > DEADLOCK_WINDOW:
+                    raise DeadlockError(
+                        f"no forward progress since cycle {last_progress} "
+                        f"(policy={self.policy.key})"
+                    )
+                if fast_forward:
+                    cycle = self._fast_forward(cycle, last_progress, max_cycles)
             cycle += 1
         self.metrics.close(cycle)
         return RunResult(
@@ -177,6 +244,9 @@ def run_policy(
     policy: Policy,
     jobs: Sequence[Optional[Job]],
     max_cycles: int = 3_000_000,
+    fast_forward: Optional[bool] = None,
 ) -> RunResult:
     """Convenience wrapper: build a machine and run it."""
-    return Machine(config, policy, jobs).run(max_cycles=max_cycles)
+    return Machine(config, policy, jobs).run(
+        max_cycles=max_cycles, fast_forward=fast_forward
+    )

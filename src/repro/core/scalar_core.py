@@ -21,6 +21,7 @@ Ordering rules implemented here (Table 2, scalar-core-managed cells):
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -28,7 +29,7 @@ import numpy as np
 from repro.common.config import CoreConfig
 from repro.common.errors import SimulationError
 from repro.coproc.coprocessor import CoProcessor
-from repro.coproc.dynamic import DynamicInstruction, EntryKind
+from repro.coproc.dynamic import DynamicInstruction, EntryKind, EntryState
 from repro.coproc.metrics import Metrics
 from repro.isa.instructions import (
     MRS,
@@ -138,6 +139,27 @@ class ScalarCore:
         if pred is None:
             return self._elems()
         return self.pregs.get(pred.name, 0)
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle a blocked scalar read can unblock.
+
+        Next-event hook for the idle-cycle fast-forward.  A core stalled on
+        a pending ``VHReduce`` scalar write-back resumes exactly when that
+        in-flight instruction completes; every other scalar-side stall
+        (transmit back-pressure, MRS synchronisation) clears via
+        co-processor events the engine reports itself.
+        """
+        nxt: Optional[float] = None
+        for entry in self._pending_scalar.values():
+            if entry.state is EntryState.WAITING:
+                continue
+            if entry.complete_cycle > cycle and (
+                nxt is None or entry.complete_cycle < nxt
+            ):
+                nxt = entry.complete_cycle
+        if nxt is None:
+            return None
+        return int(math.ceil(nxt))
 
     # --- the per-cycle interpreter ------------------------------------------
 

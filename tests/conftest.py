@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import (
@@ -20,6 +22,19 @@ from repro import (
     experiment_config,
 )
 from repro.compiler.pipeline import CompileOptions
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_cache(tmp_path_factory):
+    """Keep the suite hermetic: never touch the user's ~/.cache/repro."""
+    cache_dir = tmp_path_factory.mktemp("result-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture
@@ -121,3 +136,46 @@ def compiled_job(kernel: Kernel, core_id: int = 0, **options) -> Job:
     """Compile a kernel and wrap it with a fresh image."""
     program = compile_kernel(kernel, CompileOptions(**options))
     return Job(program=program, image=build_image(kernel, core_id=core_id))
+
+
+def run_fingerprint(result) -> tuple:
+    """Everything observable about a :class:`RunResult`, hashable.
+
+    The determinism suite compares these across execution strategies
+    (serial vs process pool, fast-forward on vs off, cold vs cached), so
+    the fingerprint must cover every metric a figure could read: cycle
+    counts, uop/stall/overhead counters, phase records, lane timelines,
+    LSU/cache statistics and the final memory image bytes.
+    """
+    m = result.metrics
+    return (
+        result.policy_key,
+        result.total_cycles,
+        tuple(result.core_cycles),
+        tuple(m.compute_uops),
+        tuple(m.ldst_uops),
+        tuple(m.flops),
+        m.busy_pipe_slots,
+        tuple(
+            tuple(sorted((reason.name, count) for reason, count in per_core.items()))
+            for per_core in m.stalls
+        ),
+        tuple(m.monitor_cycles),
+        tuple(m.reconfig_cycles),
+        tuple(m.reconfig_success),
+        tuple(m.reconfig_failed),
+        tuple(
+            (p.core, repr(p.oi), p.start_cycle, p.end_cycle, p.compute_uops, p.ldst_uops)
+            for p in m.phases
+        ),
+        tuple(tuple(t.points) for t in m.lane_timeline),
+        tuple(tuple(series.totals()) for series in m.busy_lanes_series),
+        tuple(repr(stats) for stats in result.lsu_stats),
+        tuple(sorted((name, repr(stats)) for name, stats in result.cache_stats.items())),
+        tuple(
+            None
+            if image is None
+            else tuple((name, array.tobytes()) for name, array in image)
+            for image in result.images
+        ),
+    )
