@@ -31,6 +31,13 @@ Simulation commands accept three runtime options:
     ``~/.cache/repro``); warm re-runs of a figure skip simulation.
 ``--no-cache``
     Disable the persistent cache for this invocation.
+``--profile``
+    After the command, print how the simulated cycles were covered:
+    interpreted cycle-by-cycle, skipped by the idle fast-forward, or
+    replayed from steady-loop templates.  Only runs simulated in *this*
+    process are counted — cached results and ``--jobs N`` worker
+    processes contribute nothing, so use ``--jobs 1 --no-cache`` for a
+    complete attribution.
 """
 
 from __future__ import annotations
@@ -220,6 +227,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the persistent result cache",
     )
+    runtime.add_argument(
+        "--profile",
+        action="store_true",
+        help="print simulated-cycle attribution (interpreted vs "
+        "fast-forwarded vs loop-replayed) after the command; only runs "
+        "simulated in this process are counted, so combine with --jobs 1 "
+        "(and --no-cache) for a complete picture",
+    )
 
     motivate = sub.add_parser(
         "motivate", help="run the §2 motivating example", parents=[runtime]
@@ -290,7 +305,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         result_cache.configure(
             cache_dir=args.cache_dir, disabled=args.no_cache
         )
-    return args.func(args)
+    code = args.func(args)
+    if getattr(args, "profile", False):
+        from repro.core.replay import GLOBAL_PROFILE
+
+        print()
+        print(GLOBAL_PROFILE.report())
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

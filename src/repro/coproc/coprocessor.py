@@ -83,6 +83,9 @@ class CoProcessor:
         self.core_active = [True] * num_cores
         self._seq = 0
         self._rotate = 0
+        #: Loop-replay template recorder (see :mod:`repro.core.replay`);
+        #: when set, dispatch/commit/EM-SIMD events are mirrored into it.
+        self.recorder = None
         # Coarse-temporal (CTS) arbitration state.
         self._cts_owner = 0
         self._cts_until = config.vector.cts_quantum
@@ -170,11 +173,14 @@ class CoProcessor:
     def step(self, cycle: int) -> int:
         """Advance one cycle; returns the number of events processed."""
         events = 0
+        recorder = self.recorder
         for core in range(self.config.num_cores):
             self.lsus[core].on_cycle(cycle)
             for entry in self.pools[core].commit_ready(cycle, COMMIT_WIDTH):
                 if entry.holds_phys_reg:
                     self.renamer.release(core)
+                if recorder is not None:
+                    recorder.on_commit(core, entry)
                 events += 1
         events += self._execute_emsimd(cycle)
         events += self._dispatch(cycle)
@@ -198,6 +204,8 @@ class CoProcessor:
                 raise SimulationError(f"MSR to read-only register {head.sysreg}")
             head.state = EntryState.DONE
             head.complete_cycle = cycle + 1
+            if self.recorder is not None:
+                self.recorder.on_emsimd()
             events += 1
         return events
 
@@ -254,6 +262,10 @@ class CoProcessor:
             self._cts_until = cycle + penalty + self.config.vector.cts_quantum
             self._cts_blocked_until = cycle + penalty
             self.cts_switches += 1
+            if self.recorder is not None:
+                self.recorder.on_cts_switch(
+                    self._cts_owner, self._cts_until, self._cts_blocked_until
+                )
         if cycle < self._cts_blocked_until:
             return None  # draining/restoring contexts
         return self._cts_owner
@@ -323,6 +335,8 @@ class CoProcessor:
                 entry.complete_cycle = cycle + latency
                 budget["compute"] -= 1
                 self.metrics.on_compute_dispatch(core, entry.vl_lanes, entry.flops, cycle)
+                if self.recorder is not None:
+                    self.recorder.on_dispatch(core, entry)
                 dispatched += 1
             elif entry.kind in (EntryKind.LOAD, EntryKind.STORE):
                 if budget["ldst"] <= 0:
@@ -342,6 +356,8 @@ class CoProcessor:
                 entry.complete_cycle = result.complete_cycle
                 budget["ldst"] -= 1
                 self.metrics.on_ldst_dispatch(core, entry.vl_lanes, entry.nbytes, cycle)
+                if self.recorder is not None:
+                    self.recorder.on_dispatch(core, entry)
                 dispatched += 1
             else:  # EM-SIMD entries never appear (dispatchable() stops there)
                 raise SimulationError("EM-SIMD instruction in dispatch scan")

@@ -158,6 +158,32 @@ class InstructionPool:
         self.committed += len(committed)
         return committed
 
+    def snapshot(self) -> tuple:
+        """Capture window state for speculative execution.
+
+        Saves the entry list plus the three mutable progress fields of every
+        entry currently in flight; entries pushed *after* the snapshot are
+        dropped wholesale on restore, entries already in flight get their
+        progress rewound.
+        """
+        return (
+            list(self._entries),
+            [(e.state, e.complete_cycle, e.holds_phys_reg) for e in self._entries],
+            self.transmitted,
+            self.committed,
+        )
+
+    def restore(self, snap: tuple) -> None:
+        """Rewind to a :meth:`snapshot` (aborted speculative execution)."""
+        entries, fields, transmitted, committed = snap
+        self._entries = list(entries)
+        for entry, (state, complete_cycle, holds) in zip(self._entries, fields):
+            entry.state = state
+            entry.complete_cycle = complete_cycle
+            entry.holds_phys_reg = holds
+        self.transmitted = transmitted
+        self.committed = committed
+
     def pending_emsimd(self) -> int:
         """Number of EM-SIMD instructions still in flight (for MRS sync)."""
         return sum(1 for e in self._entries if e.is_emsimd)

@@ -9,7 +9,7 @@ the owner of ExeBU *i* and of RegBlk *i*.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.common.errors import ProtocolError
 
@@ -31,13 +31,26 @@ class ExeBU:
 
 
 class LaneTable:
-    """Ownership of the N ExeBU/RegBlk pairs (Dispatch.Cfg + RegFile.Cfg)."""
+    """Ownership of the N ExeBU/RegBlk pairs (Dispatch.Cfg + RegFile.Cfg).
+
+    Ownership is kept both on the :class:`ExeBU` records (the ground
+    truth, used by :meth:`owner_of`/:meth:`ownership_vector`) and in two
+    incremental indexes — a sorted free list and a per-core lane-index
+    map — so the per-dispatch queries (:meth:`owned_count`,
+    :meth:`lanes_of`, :attr:`free_count`) cost O(1)/O(owned) instead of
+    scanning all N lanes.  A property test pins the indexes against the
+    scan answers across random reconfiguration sequences.
+    """
 
     def __init__(self, total_lanes: int) -> None:
         if total_lanes < 1:
             raise ProtocolError("need at least one lane")
         self.total_lanes = total_lanes
         self._lanes: List[ExeBU] = [ExeBU(index=i) for i in range(total_lanes)]
+        #: Unassigned lane indices, ascending (claims take the lowest).
+        self._free: List[int] = list(range(total_lanes))
+        #: core -> ascending indices of the lanes it owns.
+        self._owned: Dict[int, List[int]] = {}
         self.reconfigurations = 0
 
     def owner_of(self, lane: int) -> Optional[int]:
@@ -46,48 +59,48 @@ class LaneTable:
 
     def lanes_of(self, core: int) -> List[int]:
         """Indices of the lanes currently owned by ``core``."""
-        return [bu.index for bu in self._lanes if bu.owner == core]
+        return list(self._owned.get(core, ()))
 
     def owned_count(self, core: int) -> int:
         """Number of lanes owned by ``core``."""
-        return sum(1 for bu in self._lanes if bu.owner == core)
+        return len(self._owned.get(core, ()))
 
     @property
     def free_count(self) -> int:
         """Number of unassigned lanes."""
-        return sum(1 for bu in self._lanes if bu.is_free)
+        return len(self._free)
 
     def reconfigure(self, core: int, lanes: int) -> None:
         """Give ``core`` exactly ``lanes`` lanes (§4.2.2).
 
         Frees every ExeBU/RegBlk previously owned by ``core``, then claims
-        ``lanes`` free ones.  Data in freed RegBlks is *not* preserved — the
-        compiler guarantees it is dead (§4.2.2).
+        the ``lanes`` lowest-indexed free ones.  Data in freed RegBlks is
+        *not* preserved — the compiler guarantees it is dead (§4.2.2).
         """
         if lanes < 0:
             raise ProtocolError("cannot assign a negative lane count")
-        for bu in self._lanes:
-            if bu.owner == core:
-                bu.owner = FREE
-        if lanes > self.free_count:
+        released = self._owned.pop(core, [])
+        for index in released:
+            self._lanes[index].owner = FREE
+        if released:
+            self._free = sorted(self._free + released)
+        if lanes > len(self._free):
             raise ProtocolError(
                 f"core {core} requested {lanes} lanes but only "
-                f"{self.free_count} are free"
+                f"{len(self._free)} are free"
             )
-        assigned = 0
-        for bu in self._lanes:
-            if assigned == lanes:
-                break
-            if bu.is_free:
-                bu.owner = core
-                assigned += 1
+        claimed = self._free[:lanes]
+        del self._free[:lanes]
+        for index in claimed:
+            self._lanes[index].owner = core
+        if claimed:
+            self._owned[core] = claimed
         self.reconfigurations += 1
 
     def record_uops(self, core: int, uops: int) -> None:
         """Attribute ``uops`` executed micro-ops to each lane of ``core``."""
-        for bu in self._lanes:
-            if bu.owner == core:
-                bu.uops_executed += uops
+        for index in self._owned.get(core, ()):
+            self._lanes[index].uops_executed += uops
 
     def ownership_vector(self) -> Sequence[Optional[int]]:
         """Owner of each lane, by lane index (for tests/visualisation)."""

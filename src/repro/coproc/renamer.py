@@ -93,6 +93,23 @@ class Renamer:
         self._free[slot] += 1
         self._held[core] -= 1
 
+    def snapshot(self) -> tuple:
+        """Capture freelist state for speculative execution."""
+        return (
+            list(self._free),
+            list(self._held),
+            self.allocations,
+            self.failed_allocations,
+        )
+
+    def restore(self, snap: tuple) -> None:
+        """Rewind to a :meth:`snapshot` (aborted speculative execution)."""
+        free, held, allocations, failed = snap
+        self._free = list(free)
+        self._held = list(held)
+        self.allocations = allocations
+        self.failed_allocations = failed
+
     def in_flight(self, core: int) -> int:
         """Registers currently held by in-flight writes of ``core``."""
         return self._held[core]

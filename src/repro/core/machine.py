@@ -17,6 +17,12 @@ from repro.common.errors import DeadlockError, SimulationError
 from repro.coproc.coprocessor import CoProcessor
 from repro.coproc.metrics import Metrics
 from repro.core.policies import Policy
+from repro.core.replay import (
+    GLOBAL_PROFILE,
+    ReplayController,
+    ReplayProfile,
+    default_loop_replay,
+)
 from repro.core.scalar_core import ScalarCore
 from repro.isa.program import Program
 from repro.memory.image import MemoryImage
@@ -102,6 +108,14 @@ class Machine:
         )
         self.coproc = CoProcessor(config, policy.mode, self.metrics, self.lane_manager)
         self._done: List[bool] = [job is None for job in jobs]
+        #: Loop-replay template recorder (set by the replay engine while a
+        #: steady-state period is being recorded; see :mod:`repro.core.replay`).
+        self._loop_recorder = None
+        self._ff_skipped = 0
+        #: Simulated-cycle attribution of the last completed :meth:`run`
+        #: (kept off :class:`RunResult` so cached result pickles keep their
+        #: shape across cache versions).
+        self.profile: Optional[ReplayProfile] = None
         self.cores: List[Optional[ScalarCore]] = []
         for core_id, job in enumerate(jobs):
             if job is None:
@@ -140,6 +154,8 @@ class Machine:
                 self._done[core_id] = True
                 self.metrics.on_core_done(core_id, cycle)
                 self.coproc.set_core_active(core_id, False)
+                if self._loop_recorder is not None:
+                    self._loop_recorder.on_core_done()
                 progress += 1
         return progress
 
@@ -173,15 +189,21 @@ class Machine:
         horizon.  Returns the cycle the caller should resume *after* (the
         run loop's ``cycle += 1`` then lands on the first interesting one).
         """
-        target = self.next_event_cycle(cycle)
+        next_event = self.next_event_cycle(cycle)
         horizon = last_progress + DEADLOCK_WINDOW + 1
-        if target is None:
-            target = horizon
+        target = horizon if next_event is None else next_event
         target = min(target, horizon, max_cycles)
         skipped = target - cycle - 1
         if skipped > 0:
             self.metrics.replay_idle_cycles(skipped)
             self.coproc.skip_idle_cycles(skipped)
+            self._ff_skipped += skipped
+            if self._loop_recorder is not None:
+                # A jump cut short by the deadlock horizon or cycle budget
+                # depends on absolute time and poisons the loop template.
+                self._loop_recorder.on_fast_forward(
+                    skipped, capped=(target != next_event)
+                )
             return cycle + skipped
         return cycle
 
@@ -189,18 +211,25 @@ class Machine:
         self,
         max_cycles: int = 3_000_000,
         fast_forward: Optional[bool] = None,
+        fast_path: Optional[bool] = None,
     ) -> RunResult:
         """Simulate until every workload halts and drains.
 
         ``fast_forward`` elides stretches of cycles in which no core and no
         co-processor structure can make progress (memory-latency drains,
         EM-SIMD barriers) by jumping the clock to the next scheduled event.
-        The result is bit-identical to the cycle-by-cycle loop — the
-        determinism suite asserts it — and defaults to
-        :func:`default_fast_forward`.
+        ``fast_path`` additionally replays whole steady-state loop
+        iterations from a verified event template (see
+        :mod:`repro.core.replay`) and defaults to
+        :func:`~repro.core.replay.default_loop_replay`.  Both switches are
+        bit-identical to the cycle-by-cycle loop — the determinism suite
+        asserts it.
         """
         if fast_forward is None:
             fast_forward = default_fast_forward()
+        if fast_path is None:
+            fast_path = default_loop_replay()
+        replay = ReplayController(self) if fast_path else None
         cycle = 0
         last_progress = 0
         while not self.finished:
@@ -209,6 +238,12 @@ class Machine:
                     f"simulation exceeded {max_cycles} cycles "
                     f"(policy={self.policy.key})"
                 )
+            if replay is not None:
+                cycle, last_progress = replay.on_cycle(
+                    cycle, max_cycles, last_progress
+                )
+                if cycle >= max_cycles:
+                    continue
             if fast_forward:
                 self.metrics.begin_idle_cycle()
             if self.step(cycle):
@@ -223,6 +258,14 @@ class Machine:
                     cycle = self._fast_forward(cycle, last_progress, max_cycles)
             cycle += 1
         self.metrics.close(cycle)
+        profile = replay.profile if replay is not None else ReplayProfile()
+        profile.total_cycles = cycle
+        profile.fastforward_cycles = self._ff_skipped
+        profile.interpreted_cycles = (
+            cycle - self._ff_skipped - profile.replayed_cycles
+        )
+        self.profile = profile
+        GLOBAL_PROFILE.merge(profile)
         return RunResult(
             policy_key=self.policy.key,
             config=self.config,
@@ -245,8 +288,9 @@ def run_policy(
     jobs: Sequence[Optional[Job]],
     max_cycles: int = 3_000_000,
     fast_forward: Optional[bool] = None,
+    fast_path: Optional[bool] = None,
 ) -> RunResult:
     """Convenience wrapper: build a machine and run it."""
     return Machine(config, policy, jobs).run(
-        max_cycles=max_cycles, fast_forward=fast_forward
+        max_cycles=max_cycles, fast_forward=fast_forward, fast_path=fast_path
     )

@@ -14,15 +14,29 @@ Ordering rules implemented here (Table 2, scalar-core-managed cells):
   vector instruction (``VHReduce``) stalls until that instruction
   completes;
 * ⟨EM-SIMD, Scalar/SVE⟩ — ``MRS`` of any register except ``<decision>``
-  stalls until the core's older EM-SIMD writes have executed; ``MRS
+  stalls until the core's older EM-SIMD writes have executed; ``MSR
   <decision>`` is transmitted speculatively (§4.1.1) and reads the table
   immediately.
+
+Two execution strategies implement the same semantics:
+
+* the **seed interpreter** (:meth:`ScalarCore._execute`): an
+  ``isinstance`` chain that re-decodes operands on every execution —
+  kept as the reference path, selected by ``REPRO_NO_PRE_DECODE=1``;
+* the **pre-decoded dispatch table** (default): at construction every
+  :class:`Program` instruction is resolved once into a bound handler
+  closure with pre-parsed operands (:class:`DecodedInstr`), so the hot
+  loop performs no ``isinstance`` checks, no label lookups and no
+  operand re-classification.
+
+Both paths are bit-identical — the determinism suite asserts it.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+import os
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -58,6 +72,128 @@ _STALL = object()
 ELEMS_PER_LANE = 4
 
 
+def default_pre_decode() -> bool:
+    """Whether cores execute via the pre-decoded dispatch table.
+
+    On unless ``REPRO_NO_PRE_DECODE`` is set (to any non-empty value);
+    the two paths are bit-identical — the switch exists so the
+    determinism layer can pin the decoded path against the seed
+    interpreter.
+    """
+    return not os.environ.get("REPRO_NO_PRE_DECODE")
+
+
+#: Scalar ALU semantics, shared by the seed interpreter and the decoded
+#: handlers so both paths compute identical values.
+_SCALAR_IMPLS: Dict[str, Callable[[List[object]], object]] = {
+    "mov": lambda v: v[0],
+    "add": lambda v: v[0] + v[1],
+    "sub": lambda v: v[0] - v[1],
+    "mul": lambda v: v[0] * v[1],
+    "div": lambda v: v[0] / v[1] if v[1] else 0,
+    "rem": lambda v: v[0] % v[1] if v[1] else 0,
+    "and": lambda v: int(v[0]) & int(v[1]),
+    "or": lambda v: int(v[0]) | int(v[1]),
+    "min": lambda v: min(v),
+    "max": lambda v: max(v),
+    "lsl": lambda v: int(v[0]) << int(v[1]),
+    "lsr": lambda v: int(v[0]) >> int(v[1]),
+}
+
+#: Branch-condition semantics (``al`` handled separately).
+_BRANCH_IMPLS: Dict[str, Callable[[object, object], bool]] = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+
+def _vop_div(operands: List[object]) -> np.ndarray:
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = np.divide(operands[0], operands[1])
+    return np.nan_to_num(result, nan=0.0, posinf=0.0, neginf=0.0)
+
+
+#: Element-wise vector semantics, shared by both execution paths.
+_VOP_IMPLS: Dict[str, Callable[[List[object]], np.ndarray]] = {
+    "add": lambda o: o[0] + o[1],
+    "sub": lambda o: o[0] - o[1],
+    "mul": lambda o: o[0] * o[1],
+    "div": _vop_div,
+    "sqrt": lambda o: np.sqrt(np.abs(o[0])),
+    "fma": lambda o: o[0] * o[1] + o[2],
+    "min": lambda o: np.minimum(o[0], o[1]),
+    "max": lambda o: np.maximum(o[0], o[1]),
+    "abs": lambda o: np.abs(o[0]),
+    "neg": lambda o: -o[0],
+    "dup": lambda o: o[0] + np.float32(0.0),
+    "mov": lambda o: o[0] + np.float32(0.0),
+    "cmpgt": lambda o: (o[0] > o[1]).astype(np.float32),
+    "sel": lambda o: np.where(o[0] > 0, o[1], o[2]).astype(np.float32),
+}
+
+
+def _apply_vop(op: str, operands: List[object]) -> np.ndarray:
+    """Element-wise semantics of a vector compute operation."""
+    try:
+        impl = _VOP_IMPLS[op]
+    except KeyError:  # pragma: no cover - guarded by VOp validation
+        raise SimulationError(f"unknown vector op {op}")
+    return impl(operands)
+
+
+class DecodedInstr:
+    """One pre-decoded instruction: a bound handler plus static facts.
+
+    ``run(cycle)`` executes the instruction exactly as the seed
+    interpreter would, returning the same ``(outcome, stall_kind)``
+    pair.  Operand classification (immediate vs register vs vector),
+    label resolution and semantic-function lookup all happened once at
+    decode time.
+    """
+
+    __slots__ = ("pc", "instr", "run", "is_vector", "is_branch")
+
+    def __init__(
+        self,
+        pc: int,
+        instr: Instruction,
+        run: Callable[[int], Tuple[str, Optional[str]]],
+        is_branch: bool = False,
+    ) -> None:
+        self.pc = pc
+        self.instr = instr
+        self.run = run
+        self.is_vector = instr.is_vector
+        self.is_branch = is_branch
+
+
+def _scalar_spec(src: object) -> Tuple[bool, object]:
+    """Classify a scalar operand once: (is_immediate, payload)."""
+    if isinstance(src, Imm):
+        return True, src.value
+    if isinstance(src, (int, float)):
+        return True, src
+    return False, src.name if isinstance(src, ScalarRef) else src
+
+
+#: Vector-operand spec kinds (decode-time classification).
+_V_VREG, _V_SCALAR, _V_IMM = 0, 1, 2
+
+
+def _vector_spec(operand: object) -> Tuple[int, object]:
+    if isinstance(operand, VReg):
+        return _V_VREG, operand.name
+    if isinstance(operand, (ScalarRef, str)):
+        return _V_SCALAR, operand.name if isinstance(operand, ScalarRef) else operand
+    if isinstance(operand, Imm):
+        return _V_IMM, np.float32(operand.value)
+    raise SimulationError(f"bad vector operand {operand!r}")
+
+
 class ScalarCore:
     """One in-order-retire scalar core driving the shared co-processor."""
 
@@ -69,6 +205,7 @@ class ScalarCore:
         coproc: CoProcessor,
         metrics: Metrics,
         config: CoreConfig,
+        pre_decode: Optional[bool] = None,
     ) -> None:
         self.core_id = core_id
         self.program = program
@@ -87,8 +224,34 @@ class ScalarCore:
         self.retired_vector = 0
         self._monitor_idx = frozenset(program.meta.get("monitor", ()))
         self._reconfig_idx = frozenset(program.meta.get("reconfig", ()))
+        self.pre_decode = default_pre_decode() if pre_decode is None else pre_decode
+        #: Replay hooks: ``on_backedge(core_id, from_pc, target_pc, cycle)``
+        #: fires when a taken branch jumps backwards; ``recorder`` (when
+        #: set) receives an ``on_exec`` call per retired instruction.
+        self.on_backedge: Optional[Callable[[int, int, int, int], None]] = None
+        self.recorder = None
+        #: Undo journal armed by the replay engine: when set, in-place
+        #: memory-image writes append ``(array, index, old_slice)``.
+        self._undo_log: Optional[List[Tuple[np.ndarray, int, np.ndarray]]] = None
+        #: Pre-decoded dispatch table, one entry per instruction
+        #: (``None`` for labels).  Built eagerly: the loop-replay engine
+        #: uses it even when the seed interpreter drives `step`.
+        self.decoded: List[Optional[DecodedInstr]] = [
+            self._decode(index, instr)
+            for index, instr in enumerate(program.instructions)
+        ]
 
     # --- operand helpers ---------------------------------------------------
+
+    def _read_reg(self, name: str, cycle: int) -> object:
+        """Read scalar register ``name``; ``_STALL`` while a vector write
+        to it is still in flight."""
+        pending = self._pending_scalar.get(name)
+        if pending is not None:
+            if not pending.completed(cycle):
+                return _STALL
+            del self._pending_scalar[name]
+        return self.regs.get(name, 0)
 
     def _read_scalar(self, src: object, cycle: int) -> object:
         """Read a scalar operand; returns ``_STALL`` if a vector write to it
@@ -98,12 +261,7 @@ class ScalarCore:
         if isinstance(src, (int, float)):
             return src
         name = src.name if isinstance(src, ScalarRef) else src
-        pending = self._pending_scalar.get(name)
-        if pending is not None:
-            if not pending.completed(cycle):
-                return _STALL
-            del self._pending_scalar[name]
-        return self.regs.get(name, 0)
+        return self._read_reg(name, cycle)
 
     def _elems(self) -> int:
         """Current vector length in 32-bit elements."""
@@ -112,8 +270,13 @@ class ScalarCore:
     def _vec_operand(self, operand: object, active: int, cycle: int) -> object:
         """Materialise a vector operand as an array of >= ``active`` elems
         (or ``_STALL`` when a broadcast scalar is still pending)."""
-        if isinstance(operand, VReg):
-            value = self.vregs.get(operand.name)
+        kind, payload = _vector_spec(operand)
+        return self._vec_read(kind, payload, active, cycle)
+
+    def _vec_read(self, kind: int, payload: object, active: int, cycle: int) -> object:
+        """Materialise a pre-classified vector operand spec."""
+        if kind == _V_VREG:
+            value = self.vregs.get(payload)
             if value is None:
                 value = np.zeros(active, dtype=np.float32)
             elif len(value) < active:
@@ -121,14 +284,12 @@ class ScalarCore:
                     [value, np.zeros(active - len(value), dtype=np.float32)]
                 )
             return value[:active]
-        if isinstance(operand, (ScalarRef, str)):
-            scalar = self._read_scalar(operand, cycle)
+        if kind == _V_SCALAR:
+            scalar = self._read_reg(payload, cycle)
             if scalar is _STALL:
                 return _STALL
             return np.float32(scalar)
-        if isinstance(operand, Imm):
-            return np.float32(operand.value)
-        raise SimulationError(f"bad vector operand {operand!r}")
+        return payload  # immediate, already an np.float32
 
     def _deps_for(self, names: Tuple[str, ...]) -> Tuple[DynamicInstruction, ...]:
         return tuple(
@@ -171,24 +332,43 @@ class ScalarCore:
         transmits = self.config.transmit_width
         retired_indices: List[int] = []
         stall_kind: Optional[str] = None
+        decoded = self.decoded
+        use_decoded = self.pre_decode
+        recorder = self.recorder
         while slots > 0 and not self.halted:
-            instr = self.program.instructions[self.pc]
-            if isinstance(instr, Label):
+            d = decoded[self.pc]
+            if d is None:  # label: occupies no slot
                 self.pc += 1
                 continue
-            if instr.is_vector and transmits <= 0:
+            if d.is_vector and transmits <= 0:
                 break
-            outcome, kind = self._execute(instr, cycle)
+            if use_decoded:
+                outcome, kind = d.run(cycle)
+            else:
+                outcome, kind = self._execute(d.instr, cycle)
             if outcome == "stall":
                 stall_kind = kind
                 break
-            retired_indices.append(self.pc if outcome != "branch" else self.pc)
+            # The retired instruction's own index feeds the Fig. 15
+            # overhead attribution — for branches too (the branch *target*
+            # is where execution resumes, not what retired this cycle).
+            retired_indices.append(self.pc)
+            if recorder is not None:
+                recorder.on_exec(
+                    self.core_id,
+                    self.pc,
+                    outcome,
+                    self._branch_target if outcome == "branch" else 0,
+                )
             if outcome == "branch":
-                self.pc = self._branch_target
+                target = self._branch_target
+                if target <= self.pc and self.on_backedge is not None:
+                    self.on_backedge(self.core_id, self.pc, target, cycle)
+                self.pc = target
             else:
                 self.pc += 1
             slots -= 1
-            if instr.is_vector:
+            if d.is_vector:
                 transmits -= 1
             self.retired += 1
         self._account_overhead(retired_indices, stall_kind)
@@ -211,7 +391,439 @@ class ScalarCore:
             else:
                 self.metrics.on_overhead_cycle(self.core_id, "monitor")
 
-    # --- instruction semantics ----------------------------------------------
+    # --- replay support ----------------------------------------------------
+
+    def replay_snapshot(self) -> tuple:
+        """Cheap copy of every mutable field the replay engine may touch."""
+        return (
+            self.pc,
+            self.halted,
+            self.retired,
+            self.retired_vector,
+            dict(self.regs),
+            dict(self.vregs),
+            dict(self.pregs),
+            dict(self._last_writer),
+            dict(self._pending_scalar),
+        )
+
+    def replay_restore(self, snap: tuple) -> None:
+        """Undo to a :meth:`replay_snapshot` state (aborted replay).
+
+        The register dictionaries are restored *in place*: decoded handler
+        closures captured the dict objects at construction, so rebinding
+        the attributes would leave the handlers writing into orphans.
+        """
+        (
+            self.pc,
+            self.halted,
+            self.retired,
+            self.retired_vector,
+            regs,
+            vregs,
+            pregs,
+            last_writer,
+            pending,
+        ) = snap
+        self.regs.clear()
+        self.regs.update(regs)
+        self.vregs.clear()
+        self.vregs.update(vregs)
+        self.pregs.clear()
+        self.pregs.update(pregs)
+        self._last_writer.clear()
+        self._last_writer.update(last_writer)
+        self._pending_scalar.clear()
+        self._pending_scalar.update(pending)
+
+    # --- instruction pre-decoding -------------------------------------------
+
+    def _decode(self, index: int, instr: Instruction) -> Optional[DecodedInstr]:
+        """Resolve ``instr`` once into a bound handler closure."""
+        if isinstance(instr, Label):
+            return None
+        if isinstance(instr, ScalarOp):
+            return DecodedInstr(index, instr, self._make_scalar_op(instr))
+        if isinstance(instr, Branch):
+            return DecodedInstr(
+                index, instr, self._make_branch(instr), is_branch=True
+            )
+        if isinstance(instr, AddVL):
+            return DecodedInstr(index, instr, self._make_addvl(instr))
+        if isinstance(instr, Halt):
+            return DecodedInstr(index, instr, self._make_halt())
+        if isinstance(instr, MSR):
+            return DecodedInstr(index, instr, self._make_msr(instr))
+        if isinstance(instr, MRS):
+            return DecodedInstr(index, instr, self._make_mrs(instr))
+        if isinstance(instr, WhileLT):
+            return DecodedInstr(index, instr, self._make_whilelt(instr))
+        if isinstance(instr, VOp):
+            return DecodedInstr(index, instr, self._make_vop(instr))
+        if isinstance(instr, VLoad):
+            return DecodedInstr(index, instr, self._make_vload(instr))
+        if isinstance(instr, VStore):
+            return DecodedInstr(index, instr, self._make_vstore(instr))
+        if isinstance(instr, VHReduce):
+            return DecodedInstr(index, instr, self._make_vhreduce(instr))
+        raise SimulationError(f"cannot decode {instr!r}")
+
+    def _make_scalar_op(self, instr: ScalarOp):
+        impl = _SCALAR_IMPLS[instr.op]
+        specs = tuple(_scalar_spec(src) for src in instr.srcs)
+        dst = instr.dst
+        read_reg = self._read_reg
+        regs = self.regs
+
+        def run(cycle: int) -> Tuple[str, Optional[str]]:
+            values = []
+            for is_imm, payload in specs:
+                if is_imm:
+                    values.append(payload)
+                else:
+                    value = read_reg(payload, cycle)
+                    if value is _STALL:
+                        return "stall", None
+                    values.append(value)
+            regs[dst] = impl(values)
+            return "ok", None
+
+        return run
+
+    def _make_branch(self, instr: Branch):
+        target = self.program.target(instr.target)
+        if instr.cond == "al":
+
+            def run_always(cycle: int) -> Tuple[str, Optional[str]]:
+                self._branch_target = target
+                return "branch", None
+
+            return run_always
+        impl = _BRANCH_IMPLS[instr.cond]
+        spec1 = _scalar_spec(instr.src1)
+        spec2 = _scalar_spec(instr.src2)
+        read = self._read_scalar_spec
+
+        def run(cycle: int) -> Tuple[str, Optional[str]]:
+            lhs = read(spec1, cycle)
+            rhs = read(spec2, cycle)
+            if lhs is _STALL or rhs is _STALL:
+                return "stall", None
+            if impl(lhs, rhs):
+                self._branch_target = target
+                return "branch", None
+            return "ok", None
+
+        return run
+
+    def _read_scalar_spec(self, spec: Tuple[bool, object], cycle: int) -> object:
+        is_imm, payload = spec
+        if is_imm:
+            return payload
+        return self._read_reg(payload, cycle)
+
+    def _make_addvl(self, instr: AddVL):
+        spec = _scalar_spec(instr.src)
+        dst = instr.dst
+        elem_bytes = instr.elem_bytes
+
+        def run(cycle: int) -> Tuple[str, Optional[str]]:
+            value = self._read_scalar_spec(spec, cycle)
+            if value is _STALL:
+                return "stall", None
+            lanes = self.coproc.configured_vl(self.core_id)
+            self.regs[dst] = value + lanes * 16 // elem_bytes
+            return "ok", None
+
+        return run
+
+    def _make_halt(self):
+        def run(cycle: int) -> Tuple[str, Optional[str]]:
+            self.halted = True
+            return "ok", None
+
+        return run
+
+    def _make_msr(self, instr: MSR):
+        spec = _scalar_spec(instr.src)
+        sysreg = instr.sysreg
+        coproc = self.coproc
+        core_id = self.core_id
+
+        def run(cycle: int) -> Tuple[str, Optional[str]]:
+            if not coproc.can_transmit(core_id):
+                return "stall", None
+            value = self._read_scalar_spec(spec, cycle)
+            if value is _STALL:
+                return "stall", None
+            entry = DynamicInstruction(
+                seq=coproc.next_seq(),
+                core=core_id,
+                kind=EntryKind.EMSIMD,
+                instr=instr,
+                vl_lanes=coproc.configured_vl(core_id),
+                transmit_cycle=cycle,
+                sysreg=sysreg,
+                value=value,
+            )
+            coproc.transmit(entry)
+            self.retired_vector += 1
+            return "ok", None
+
+        return run
+
+    def _make_mrs(self, instr: MRS):
+        sysreg = instr.sysreg
+        dst = instr.dst
+        coproc = self.coproc
+        core_id = self.core_id
+        synchronising = sysreg is not SystemRegister.DECISION
+
+        def run(cycle: int) -> Tuple[str, Optional[str]]:
+            if synchronising and coproc.pending_emsimd(core_id) > 0:
+                return "stall", "reconfig"
+            self.regs[dst] = coproc.read_sysreg(core_id, sysreg)
+            return "ok", None
+
+        return run
+
+    def _make_whilelt(self, instr: WhileLT):
+        counter_spec = _scalar_spec(instr.counter)
+        limit_spec = _scalar_spec(instr.limit)
+        pdst = instr.pdst.name
+        coproc = self.coproc
+        core_id = self.core_id
+
+        def run(cycle: int) -> Tuple[str, Optional[str]]:
+            if not coproc.can_transmit(core_id):
+                return "stall", None
+            counter = self._read_scalar_spec(counter_spec, cycle)
+            limit = self._read_scalar_spec(limit_spec, cycle)
+            if counter is _STALL or limit is _STALL:
+                return "stall", None
+            active = max(0, min(self._elems(), int(limit) - int(counter)))
+            self.pregs[pdst] = active
+            entry = DynamicInstruction(
+                seq=coproc.next_seq(),
+                core=core_id,
+                kind=EntryKind.COMPUTE,
+                instr=instr,
+                vl_lanes=0,  # predicate generation occupies no FP lanes
+                transmit_cycle=cycle,
+                writes_vreg=False,
+            )
+            self._last_writer[pdst] = entry
+            coproc.transmit(entry)
+            self.retired_vector += 1
+            return "ok", None
+
+        return run
+
+    def _make_vop(self, instr: VOp):
+        impl = _VOP_IMPLS[instr.op]
+        src_specs = tuple(_vector_spec(src) for src in instr.srcs)
+        dst = instr.dst.name
+        pred = instr.pred
+        dep_names = tuple(
+            src.name for src in instr.srcs if isinstance(src, VReg)
+        ) + ((pred.name,) if pred else ())
+        flops_per_element = instr.flops_per_element
+        long_latency = instr.is_long_latency
+        coproc = self.coproc
+        core_id = self.core_id
+
+        def run(cycle: int) -> Tuple[str, Optional[str]]:
+            if not coproc.can_transmit(core_id):
+                return "stall", None
+            active = self._active(pred)
+            operands = []
+            for kind, payload in src_specs:
+                value = self._vec_read(kind, payload, active, cycle)
+                if value is _STALL:
+                    return "stall", None
+                operands.append(value)
+            elems = self._elems()
+            width = max(elems, active)
+            # Merging predication: inactive lanes keep the old destination
+            # value (SVE /M), which reduction accumulators rely on in tail
+            # iterations.
+            old = self.vregs.get(dst)
+            result = np.zeros(width, dtype=np.float32)
+            if old is not None:
+                span = min(len(old), width)
+                result[:span] = old[:span]
+            if active > 0:
+                result[:active] = impl(operands)
+            self.vregs[dst] = result
+            entry = DynamicInstruction(
+                seq=coproc.next_seq(),
+                core=core_id,
+                kind=EntryKind.COMPUTE,
+                instr=instr,
+                vl_lanes=coproc.configured_vl(core_id),
+                transmit_cycle=cycle,
+                deps=self._deps_for(dep_names),
+                flops=flops_per_element * active,
+                long_latency=long_latency,
+                writes_vreg=True,
+            )
+            self._last_writer[dst] = entry
+            coproc.transmit(entry)
+            self.retired_vector += 1
+            return "ok", None
+
+        return run
+
+    def _make_vload(self, instr: VLoad):
+        dst = instr.dst.name
+        array_name = instr.array
+        index_spec = _scalar_spec(instr.index)
+        pred = instr.pred
+        stride = instr.stride
+        elem_bytes = instr.elem_bytes
+        dep_names = (pred.name,) if pred else ()
+        coproc = self.coproc
+        core_id = self.core_id
+        image = self.image
+
+        def run(cycle: int) -> Tuple[str, Optional[str]]:
+            if not coproc.can_transmit(core_id):
+                return "stall", None
+            index = self._read_scalar_spec(index_spec, cycle)
+            if index is _STALL:
+                return "stall", None
+            index = int(index)
+            active = self._active(pred)
+            array = image.array(array_name)
+            span = (active - 1) * stride + 1 if active > 0 else 0
+            if active > 0 and index + span > len(array):
+                raise SimulationError(
+                    f"core {core_id}: load of {array_name}"
+                    f"[{index}:{index + span}:{stride}] overruns "
+                    f"length {len(array)}"
+                )
+            elems = self._elems()
+            value = np.zeros(max(elems, active), dtype=np.float32)
+            if active > 0:
+                value[:active] = array[index : index + span : stride]
+            self.vregs[dst] = value
+            entry = DynamicInstruction(
+                seq=coproc.next_seq(),
+                core=core_id,
+                kind=EntryKind.LOAD,
+                instr=instr,
+                vl_lanes=coproc.configured_vl(core_id),
+                transmit_cycle=cycle,
+                deps=self._deps_for(dep_names),
+                addr=image.address_of(array_name, index, elem_bytes),
+                # A strided access touches every line in its span.
+                nbytes=span * elem_bytes,
+                writes_vreg=True,
+            )
+            self._last_writer[dst] = entry
+            coproc.transmit(entry)
+            self.retired_vector += 1
+            return "ok", None
+
+        return run
+
+    def _make_vstore(self, instr: VStore):
+        src = instr.src
+        array_name = instr.array
+        index_spec = _scalar_spec(instr.index)
+        pred = instr.pred
+        elem_bytes = instr.elem_bytes
+        src_spec = _vector_spec(src)
+        dep_names = (src.name,) + ((pred.name,) if pred else ())
+        coproc = self.coproc
+        core_id = self.core_id
+        image = self.image
+
+        def run(cycle: int) -> Tuple[str, Optional[str]]:
+            if not coproc.can_transmit(core_id):
+                return "stall", None
+            index = self._read_scalar_spec(index_spec, cycle)
+            if index is _STALL:
+                return "stall", None
+            index = int(index)
+            active = self._active(pred)
+            array = image.array(array_name)
+            if active > 0 and index + active > len(array):
+                raise SimulationError(
+                    f"core {core_id}: store to {array_name}"
+                    f"[{index}:{index + active}] overruns length {len(array)}"
+                )
+            value = self._vec_read(src_spec[0], src_spec[1], active, cycle)
+            if value is _STALL:
+                return "stall", None
+            if active > 0:
+                if self._undo_log is not None:
+                    self._undo_log.append(
+                        (array, index, array[index : index + active].copy())
+                    )
+                array[index : index + active] = value[:active]
+            entry = DynamicInstruction(
+                seq=coproc.next_seq(),
+                core=core_id,
+                kind=EntryKind.STORE,
+                instr=instr,
+                vl_lanes=coproc.configured_vl(core_id),
+                transmit_cycle=cycle,
+                deps=self._deps_for(dep_names),
+                addr=image.address_of(array_name, index, elem_bytes),
+                nbytes=active * elem_bytes,
+                writes_vreg=False,
+            )
+            coproc.transmit(entry)
+            self.retired_vector += 1
+            return "ok", None
+
+        return run
+
+    def _make_vhreduce(self, instr: VHReduce):
+        op = instr.op
+        dst = instr.dst
+        pred = instr.pred
+        src_spec = _vector_spec(instr.src)
+        dep_names = (instr.src.name,) + ((pred.name,) if pred else ())
+        coproc = self.coproc
+        core_id = self.core_id
+
+        def run(cycle: int) -> Tuple[str, Optional[str]]:
+            if not coproc.can_transmit(core_id):
+                return "stall", None
+            active = self._active(pred)
+            source = self._vec_read(src_spec[0], src_spec[1], active, cycle)
+            if active > 0:
+                if op == "add":
+                    value = float(np.add.reduce(source[:active], dtype=np.float64))
+                elif op == "max":
+                    value = float(np.max(source[:active]))
+                else:
+                    value = float(np.min(source[:active]))
+            else:
+                value = 0.0
+            self.regs[dst] = value
+            entry = DynamicInstruction(
+                seq=coproc.next_seq(),
+                core=core_id,
+                kind=EntryKind.COMPUTE,
+                instr=instr,
+                vl_lanes=coproc.configured_vl(core_id),
+                transmit_cycle=cycle,
+                deps=self._deps_for(dep_names),
+                flops=active,
+                writes_vreg=False,
+                scalar_dst=dst,
+            )
+            self._pending_scalar[dst] = entry
+            coproc.transmit(entry)
+            self.retired_vector += 1
+            return "ok", None
+
+        return run
+
+    # --- instruction semantics (the seed interpreter) ------------------------
 
     def _execute(self, instr: Instruction, cycle: int) -> Tuple[str, Optional[str]]:
         """Execute one instruction. Returns (outcome, stall_kind) where
@@ -253,34 +865,11 @@ class ScalarCore:
             if value is _STALL:
                 return "stall", None
             values.append(value)
-        op = instr.op
-        if op == "mov":
-            result = values[0]
-        elif op == "add":
-            result = values[0] + values[1]
-        elif op == "sub":
-            result = values[0] - values[1]
-        elif op == "mul":
-            result = values[0] * values[1]
-        elif op == "div":
-            result = values[0] / values[1] if values[1] else 0
-        elif op == "rem":
-            result = values[0] % values[1] if values[1] else 0
-        elif op == "and":
-            result = int(values[0]) & int(values[1])
-        elif op == "or":
-            result = int(values[0]) | int(values[1])
-        elif op == "min":
-            result = min(values)
-        elif op == "max":
-            result = max(values)
-        elif op == "lsl":
-            result = int(values[0]) << int(values[1])
-        elif op == "lsr":
-            result = int(values[0]) >> int(values[1])
-        else:  # pragma: no cover - guarded by ScalarOp validation
-            raise SimulationError(f"unknown scalar op {op}")
-        self.regs[instr.dst] = result
+        try:
+            impl = _SCALAR_IMPLS[instr.op]
+        except KeyError:  # pragma: no cover - guarded by ScalarOp validation
+            raise SimulationError(f"unknown scalar op {instr.op}")
+        self.regs[instr.dst] = impl(values)
         return "ok", None
 
     _branch_target = 0
@@ -293,14 +882,7 @@ class ScalarCore:
             rhs = self._read_scalar(instr.src2, cycle)
             if lhs is _STALL or rhs is _STALL:
                 return "stall", None
-            taken = {
-                "eq": lhs == rhs,
-                "ne": lhs != rhs,
-                "lt": lhs < rhs,
-                "le": lhs <= rhs,
-                "gt": lhs > rhs,
-                "ge": lhs >= rhs,
-            }[instr.cond]
+            taken = _BRANCH_IMPLS[instr.cond](lhs, rhs)
         if taken:
             self._branch_target = self.program.target(instr.target)
             return "branch", None
@@ -458,6 +1040,10 @@ class ScalarCore:
         if value is _STALL:
             return "stall", None
         if active > 0:
+            if self._undo_log is not None:
+                self._undo_log.append(
+                    (array, index, array[index : index + active].copy())
+                )
             array[index : index + active] = value[:active]
         dep_names = (instr.src.name,) + ((instr.pred.name,) if instr.pred else ())
         entry = DynamicInstruction(
@@ -508,36 +1094,3 @@ class ScalarCore:
         self.coproc.transmit(entry)
         self.retired_vector += 1
         return "ok", None
-
-
-def _apply_vop(op: str, operands: List[object]) -> np.ndarray:
-    """Element-wise semantics of a vector compute operation."""
-    if op == "add":
-        return operands[0] + operands[1]
-    if op == "sub":
-        return operands[0] - operands[1]
-    if op == "mul":
-        return operands[0] * operands[1]
-    if op == "div":
-        with np.errstate(divide="ignore", invalid="ignore"):
-            result = np.divide(operands[0], operands[1])
-        return np.nan_to_num(result, nan=0.0, posinf=0.0, neginf=0.0)
-    if op == "sqrt":
-        return np.sqrt(np.abs(operands[0]))
-    if op == "fma":
-        return operands[0] * operands[1] + operands[2]
-    if op == "min":
-        return np.minimum(operands[0], operands[1])
-    if op == "max":
-        return np.maximum(operands[0], operands[1])
-    if op == "abs":
-        return np.abs(operands[0])
-    if op == "neg":
-        return -operands[0]
-    if op in ("dup", "mov"):
-        return operands[0] + np.float32(0.0)
-    if op == "cmpgt":
-        return (operands[0] > operands[1]).astype(np.float32)
-    if op == "sel":
-        return np.where(operands[0] > 0, operands[1], operands[2]).astype(np.float32)
-    raise SimulationError(f"unknown vector op {op}")  # pragma: no cover

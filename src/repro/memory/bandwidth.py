@@ -35,6 +35,14 @@ class BandwidthRegulator:
         self.requests_served += 1
         return finish
 
+    def snapshot(self) -> tuple:
+        """Capture queue/statistics state for speculative execution."""
+        return (self._next_free, self.bytes_served, self.requests_served)
+
+    def restore(self, snap: tuple) -> None:
+        """Rewind to a :meth:`snapshot` (aborted speculative execution)."""
+        self._next_free, self.bytes_served, self.requests_served = snap
+
     def busy_until(self) -> float:
         """Cycle at which all currently queued traffic completes."""
         return self._next_free

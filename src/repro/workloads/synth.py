@@ -107,12 +107,18 @@ def solve_counts(
                     if comp + reads + extra > MAX_BODY_NODES:
                         continue
                     candidate = Counts(comp, reads, extra, stores)
-                    err = abs(candidate.oi_mem - oi_mem) / oi_mem + abs(
-                        candidate.oi_issue - target_issue
-                    ) / max(target_issue, 1e-9)
+                    mem_err = abs(candidate.oi_mem - oi_mem) / oi_mem
+                    issue_err = abs(candidate.oi_issue - target_issue) / max(
+                        target_issue, 1e-9
+                    )
+                    err = mem_err + issue_err
                     if best is None or err < best[0]:
-                        best = (err, candidate)
-    if best is None or best[0] > 2 * tolerance:
+                        best = (err, candidate, max(mem_err, issue_err))
+    # Gate each intensity separately: at very low OI the achievable
+    # comp/footprint ratios are sparse, so both errors peak together in
+    # the gaps and a summed bound falsely rejects mixes that are
+    # individually well within tolerance.
+    if best is None or best[2] > 2 * tolerance:
         raise CompilationError(
             f"no instruction mix within tolerance for oi_mem={oi_mem}, "
             f"oi_issue={target_issue}"

@@ -69,6 +69,86 @@ class TestCtsPolicy:
         )
         assert waits > 100
 
+class TestCtsArbitrateEdges:
+    """Direct edge-case drives of :meth:`CoProcessor._cts_arbitrate`."""
+
+    @staticmethod
+    def _machine(penalty: int, quantum: int) -> Machine:
+        import dataclasses
+
+        config = experiment_config()
+        vector = dataclasses.replace(
+            config.vector, cts_switch_penalty=penalty, cts_quantum=quantum
+        )
+        config = dataclasses.replace(config, vector=vector)
+        jobs = [compiled_job(make_axpy(64), 0), compiled_job(make_axpy(64), 1)]
+        return Machine(config, CTS, jobs)
+
+    @staticmethod
+    def _fill(coproc, core: int) -> None:
+        from repro.coproc.dynamic import DynamicInstruction, EntryKind
+
+        coproc.pools[core].push(
+            DynamicInstruction(
+                seq=coproc._seq,
+                core=core,
+                kind=EntryKind.COMPUTE,
+                instr=None,
+                vl_lanes=4,
+                transmit_cycle=0,
+            )
+        )
+        coproc._seq += 1
+
+    def test_penalty_longer_than_quantum_cannot_ping_pong(self):
+        machine = self._machine(penalty=100, quantum=10)
+        coproc = machine.coproc
+        self._fill(coproc, 0)
+        self._fill(coproc, 1)
+        # Quantum expires at cycle 10 with core 1 waiting: hand over.
+        assert coproc._cts_arbitrate(10) is None  # switch + drain starts
+        assert coproc._cts_owner == 1
+        assert coproc.cts_switches == 1
+        # The new quantum starts only after the drain, so ownership cannot
+        # bounce back mid-penalty even though quantum < penalty.
+        for cycle in range(11, 110):
+            assert coproc._cts_arbitrate(cycle) is None
+            assert coproc._cts_owner == 1
+        assert coproc._cts_arbitrate(110) == 1  # drain over, quantum running
+        assert coproc._cts_until == 10 + 100 + 10
+        assert coproc.cts_switches == 1
+
+    def test_owner_draining_with_no_waiters_keeps_ownership(self):
+        machine = self._machine(penalty=10, quantum=50)
+        coproc = machine.coproc
+        # Core 0 owns but has nothing in flight and nobody else is waiting:
+        # no switch, no penalty — even long past quantum expiry.
+        for cycle in (0, 49, 50, 51, 500):
+            assert coproc._cts_arbitrate(cycle) == 0
+        assert coproc.cts_switches == 0
+        # The moment a waiter appears, the idle owner yields immediately.
+        self._fill(coproc, 1)
+        assert coproc._cts_arbitrate(501) is None  # drain begins
+        assert coproc._cts_owner == 1
+        assert coproc.cts_switches == 1
+
+    def test_handover_at_exact_quantum_boundary(self):
+        machine = self._machine(penalty=0, quantum=64)
+        coproc = machine.coproc
+        self._fill(coproc, 0)
+        self._fill(coproc, 1)
+        # One cycle before expiry the busy owner keeps the engine.
+        assert coproc._cts_arbitrate(63) == 0
+        assert coproc.cts_switches == 0
+        # At exactly cts_until the quantum has expired: hand over, and with
+        # a zero penalty the new owner dispatches the same cycle.
+        assert coproc._cts_arbitrate(64) == 1
+        assert coproc.cts_switches == 1
+        assert coproc._cts_until == 64 + 64
+        assert coproc._cts_blocked_until == 64
+
+
+class TestCtsPenaltyConfig:
     def test_switch_penalty_configurable(self):
         import dataclasses
 

@@ -91,6 +91,57 @@ class TestScalarSemantics:
         assert core.regs["Xi"] == 8 * 4  # 8 lanes * 4 fp32 elements
 
 
+class TestBranchRetirement:
+    """Regression: a retired taken branch reports its *own* index.
+
+    The Fig. 15 overhead attribution and the loop-replay template both
+    key off the per-cycle retirement list; a branch must contribute the
+    index it retired at, with its target carried separately (execution
+    resumes at the target, but the target did not retire this cycle).
+    """
+
+    SOURCE = """
+        mov Xi, #0
+    top:
+        add Xi, Xi, #1
+        b.lt Xi, #5, top
+        halt
+    """
+
+    class _Recorder:
+        def __init__(self):
+            self.execs = []
+
+        def on_exec(self, core, pc, outcome, target):
+            self.execs.append((core, pc, outcome, target))
+
+    @pytest.mark.parametrize("pre_decode", [True, False])
+    def test_taken_branch_retires_its_own_pc(self, pre_decode, monkeypatch):
+        if not pre_decode:
+            monkeypatch.setenv("REPRO_NO_PRE_DECODE", "1")
+        core, coproc, _ = machine_for(self.SOURCE)
+        assert core.pre_decode is pre_decode
+        recorder = self._Recorder()
+        core.recorder = recorder
+        backedges = []
+        core.on_backedge = lambda c, frm, tgt, cycle: backedges.append((c, frm, tgt))
+        run(core, coproc)
+        assert core.regs["Xi"] == 5
+        branch_pc = next(
+            i for i, d in enumerate(core.decoded) if d is not None and d.is_branch
+        )
+        loop_head = core.program.target("top")
+        taken = [e for e in recorder.execs if e[2] == "branch"]
+        assert len(taken) == 4  # Xi = 1..4 branch back; Xi = 5 falls through
+        assert all(e[1] == branch_pc for e in taken)
+        assert all(e[3] == loop_head for e in taken)
+        fallthrough = [
+            e for e in recorder.execs if e[1] == branch_pc and e[2] != "branch"
+        ]
+        assert len(fallthrough) == 1 and fallthrough[0][3] == 0
+        assert backedges == [(0, branch_pc, loop_head)] * 4
+
+
 class TestVectorSemantics:
     def test_predicated_tail(self):
         source = SETVL + """

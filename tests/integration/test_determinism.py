@@ -1,7 +1,8 @@
 """Determinism of the execution strategies (the tentpole's safety net).
 
-The parallel sweep engine, the persistent result cache and the idle-cycle
-fast-forward are all pure optimisations: every one of them must produce
+The parallel sweep engine, the persistent result cache, the idle-cycle
+fast-forward, the pre-decoded scalar dispatch table and the steady-state
+loop replay are all pure optimisations: every one of them must produce
 results bit-identical to the plain serial, cycle-by-cycle simulation.
 This suite pins that down by fingerprinting complete
 :class:`~repro.core.machine.RunResult` objects — cycle counts, every
@@ -75,6 +76,49 @@ def test_fast_forward_is_bit_exact(policy, config):
     slow = run_policy(config, policy, jobs_for_pair(pair, SCALE), fast_forward=False)
     fast = run_policy(config, policy, jobs_for_pair(pair, SCALE), fast_forward=True)
     assert run_fingerprint(fast) == run_fingerprint(slow)
+
+
+@pytest.mark.parametrize("policy", EXTENDED_POLICIES, ids=lambda p: p.key)
+def test_loop_replay_is_bit_exact(policy, config):
+    """Loop replay on vs off: identical runs under every sharing mode.
+
+    Together with the spatial/temporal/coarse-temporal spread this pins
+    the replay engine's signature, verification and rollback logic
+    against the cycle-by-cycle interpreter.
+    """
+    pair = PAIRS[0]
+    slow = run_policy(config, policy, jobs_for_pair(pair, SCALE), fast_path=False)
+    fast = run_policy(config, policy, jobs_for_pair(pair, SCALE), fast_path=True)
+    assert run_fingerprint(fast) == run_fingerprint(slow)
+
+
+@pytest.mark.parametrize("policy", EXTENDED_POLICIES, ids=lambda p: p.key)
+def test_pre_decode_matches_seed_interpreter(policy, config, monkeypatch):
+    """The pre-decoded dispatch table reproduces the seed interpreter."""
+    pair = PAIRS[0]
+    monkeypatch.setenv("REPRO_NO_PRE_DECODE", "1")
+    seed = run_policy(config, policy, jobs_for_pair(pair, SCALE))
+    monkeypatch.delenv("REPRO_NO_PRE_DECODE")
+    decoded = run_policy(config, policy, jobs_for_pair(pair, SCALE))
+    assert run_fingerprint(decoded) == run_fingerprint(seed)
+
+
+def test_all_fast_paths_off_matches_all_on(config, monkeypatch):
+    """The fully pessimised configuration (seed interpreter, no
+    fast-forward, no loop replay) and the fully optimised default agree."""
+    pair = PAIRS[0]
+    policy = EXTENDED_POLICIES[3]  # occamy
+    monkeypatch.setenv("REPRO_NO_PRE_DECODE", "1")
+    baseline = run_policy(
+        config,
+        policy,
+        jobs_for_pair(pair, SCALE),
+        fast_forward=False,
+        fast_path=False,
+    )
+    monkeypatch.delenv("REPRO_NO_PRE_DECODE")
+    optimised = run_policy(config, policy, jobs_for_pair(pair, SCALE))
+    assert run_fingerprint(optimised) == run_fingerprint(baseline)
 
 
 def test_fast_forward_env_kill_switch(monkeypatch, config):
