@@ -9,6 +9,8 @@ the phases with their lane allocations, the picture Figs. 2/8/14(b) tell.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from typing import Dict, List, Optional
 
 from repro.core.machine import RunResult
@@ -55,9 +57,28 @@ def trace_dict(result: RunResult) -> Dict[str, object]:
 
 
 def export_trace(result: RunResult, path: str) -> None:
-    """Write :func:`trace_dict` to ``path`` as indented JSON."""
-    with open(path, "w") as handle:
-        json.dump(trace_dict(result), handle, indent=2)
+    """Write :func:`trace_dict` to ``path`` as indented JSON, atomically.
+
+    The JSON is staged in a temporary file in the destination directory
+    (created if missing) and moved into place with :func:`os.replace`, so
+    a crash mid-serialisation can never leave a truncated trace behind —
+    readers see either the previous complete file or the new one.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(trace_dict(result), handle, indent=2)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def phase_gantt(result: RunResult, width: int = 64) -> str:

@@ -19,8 +19,13 @@ Commands
     Render the motivating example's figures as SVG files.
 ``report OUT.md``
     Run a slice of the evaluation and write a Markdown report.
+``diff-fuzz``
+    Cross-engine differential fuzzing: random co-run programs executed
+    through every fast-path combination under every sharing mode, full
+    run fingerprints diffed against the seed interpreter.  Diverging
+    cases are shrunk to minimal repros and emitted as regression tests.
 
-Simulation commands accept three runtime options:
+Simulation commands accept these runtime options:
 
 ``--jobs N``
     Fan simulations across ``N`` worker processes (``0`` = all CPUs;
@@ -38,11 +43,19 @@ Simulation commands accept three runtime options:
     process are counted — cached results and ``--jobs N`` worker
     processes contribute nothing, so use ``--jobs 1 --no-cache`` for a
     complete attribution.
+``--audit``
+    Enable runtime invariant auditing (sets ``REPRO_AUDIT`` so worker
+    processes inherit it): every simulated cycle cross-checks lane
+    conservation, ROB retire ordering, physical-register accounting and
+    bandwidth-queue bookkeeping, raising
+    :class:`~repro.common.errors.InvariantViolation` on the first
+    inconsistency.  Audited runs are bit-identical, just slower.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -199,6 +212,74 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_diff_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.policies import POLICIES_BY_KEY
+    from repro.validation.difftest import (
+        DEFAULT_POLICIES,
+        FAST_ENGINES,
+        BASELINE_ENGINE,
+        fuzz_seeds,
+    )
+
+    if args.policies:
+        policies = tuple(args.policies.split(","))
+        unknown = [key for key in policies if key not in POLICIES_BY_KEY]
+        if unknown:
+            print(f"unknown policies: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    else:
+        policies = DEFAULT_POLICIES
+    seeds = list(range(args.start, args.start + args.seeds))
+    runs = len(seeds) * len(policies) * (len(FAST_ENGINES) + 1)
+    print(
+        f"diff-fuzz: {len(seeds)} case(s), policies {', '.join(policies)}, "
+        f"{len(FAST_ENGINES)} engine(s) vs {BASELINE_ENGINE.label} "
+        f"({runs} runs)"
+    )
+    report = fuzz_seeds(
+        seeds,
+        policies=policies,
+        audit=True if args.audit else None,
+        progress=print,
+    )
+    if report.clean:
+        print(f"OK: {report.runs} runs, all engines bit-identical")
+    else:
+        print(f"FAIL: {len(report.divergences)} divergence(s)")
+        for divergence in report.divergences:
+            print(f"  {divergence}")
+            for line in divergence.detail:
+                print(f"    {line}")
+    if not report.clean and not args.no_shrink:
+        from repro.validation.difftest import EngineSpec
+        from repro.validation.shrink import shrink_case, write_regression_test
+
+        engines_by_label = {engine.label: engine for engine in FAST_ENGINES}
+        emitted = set()
+        for divergence in report.divergences[: args.shrink_limit]:
+            key = (divergence.policy, divergence.engine)
+            if key in emitted:
+                continue
+            emitted.add(key)
+            engine = engines_by_label[divergence.engine]
+            print(
+                f"shrinking seed {divergence.seed} "
+                f"({divergence.policy}/{divergence.engine}) ..."
+            )
+            minimal = shrink_case(divergence.spec, divergence.policy, engine)
+            path = write_regression_test(
+                minimal, divergence.policy, engine, args.emit_dir
+            )
+            print(f"  minimized repro written to {path}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2)
+        print(f"report written to {args.report}")
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -234,6 +315,13 @@ def build_parser() -> argparse.ArgumentParser:
         "fast-forwarded vs loop-replayed) after the command; only runs "
         "simulated in this process are counted, so combine with --jobs 1 "
         "(and --no-cache) for a complete picture",
+    )
+    runtime.add_argument(
+        "--audit",
+        action="store_true",
+        help="enable runtime invariant auditing (REPRO_AUDIT): every cycle "
+        "cross-checks lane/ROB/renamer/bandwidth accounting and raises "
+        "InvariantViolation on the first inconsistency",
     )
 
     motivate = sub.add_parser(
@@ -292,6 +380,43 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--scale", type=float, default=0.4)
     report.add_argument("--pairs", type=int, default=6)
     report.set_defaults(func=_cmd_report)
+
+    diff_fuzz = sub.add_parser(
+        "diff-fuzz",
+        help="cross-engine differential fuzzing",
+        parents=[runtime],
+    )
+    diff_fuzz.add_argument(
+        "--seeds", type=int, default=50, metavar="N",
+        help="number of random cases (default 50)",
+    )
+    diff_fuzz.add_argument(
+        "--start", type=int, default=0, metavar="SEED",
+        help="first seed (cases use seeds START..START+N-1)",
+    )
+    diff_fuzz.add_argument(
+        "--policies", default=None, metavar="KEYS",
+        help="comma-separated policy keys (default occamy,fts,cts — one "
+        "per sharing mode)",
+    )
+    diff_fuzz.add_argument(
+        "--report", default=None, metavar="OUT.json",
+        help="write a JSON divergence report",
+    )
+    diff_fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip shrinking diverging cases",
+    )
+    diff_fuzz.add_argument(
+        "--shrink-limit", type=int, default=3, metavar="N",
+        help="shrink at most N divergences (default 3)",
+    )
+    diff_fuzz.add_argument(
+        "--emit-dir", default="tests/regressions", metavar="DIR",
+        help="directory for emitted regression tests "
+        "(default tests/regressions)",
+    )
+    diff_fuzz.set_defaults(func=_cmd_diff_fuzz)
     return parser
 
 
@@ -299,6 +424,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "audit", False):
+        # Set the env knob (not just Machine(audit=True)) so --jobs worker
+        # processes and library code constructing Machines inherit it.
+        os.environ["REPRO_AUDIT"] = "1"
     if getattr(args, "cache_dir", None) or getattr(args, "no_cache", False):
         from repro.analysis import result_cache
 

@@ -36,3 +36,11 @@ class DeadlockError(SimulationError):
 
 class ProtocolError(SimulationError):
     """An EM-SIMD protocol rule was violated (e.g. freeing unowned lanes)."""
+
+
+class InvariantViolation(SimulationError):
+    """A runtime invariant audit found inconsistent machine state.
+
+    Raised only when auditing is enabled (``REPRO_AUDIT`` / ``--audit``);
+    see :mod:`repro.validation.invariants`.
+    """

@@ -52,6 +52,9 @@ class LaneTable:
         #: core -> ascending indices of the lanes it owns.
         self._owned: Dict[int, List[int]] = {}
         self.reconfigurations = 0
+        #: Runtime invariant auditor (``REPRO_AUDIT``); when set, every
+        #: reconfiguration re-checks lane conservation and index agreement.
+        self.auditor = None
 
     def owner_of(self, lane: int) -> Optional[int]:
         """The core owning lane ``lane`` (None when free)."""
@@ -96,6 +99,8 @@ class LaneTable:
         if claimed:
             self._owned[core] = claimed
         self.reconfigurations += 1
+        if self.auditor is not None:
+            self.auditor.on_lane_table(self)
 
     def record_uops(self, core: int, uops: int) -> None:
         """Attribute ``uops`` executed micro-ops to each lane of ``core``."""

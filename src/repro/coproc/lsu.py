@@ -47,6 +47,9 @@ class LoadStoreUnit:
         self.mob = MemoryOrderingBuffer()
         self.stats = LsuStats()
         self._store_completions: deque = deque()
+        #: Runtime invariant auditor (``REPRO_AUDIT``); when set, every
+        #: issued access re-checks completion and STQ ordering.
+        self.auditor = None
 
     def store_queue_full(self, cycle: float) -> bool:
         """True when a new store would have no STQ entry this cycle."""
@@ -77,6 +80,8 @@ class LoadStoreUnit:
         self.stats.vec_cache_hits += result.vec_cache_hits
         self.stats.l2_hits += result.l2_hits
         self.stats.dram_accesses += result.dram_accesses
+        if self.auditor is not None:
+            self.auditor.on_lsu_issue(self, cycle, result)
         return result
 
     def on_cycle(self, cycle: float) -> None:

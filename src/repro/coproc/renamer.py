@@ -58,6 +58,9 @@ class Renamer:
         self._capacity = list(self._free)
         self.allocations = 0
         self.failed_allocations = 0
+        #: Runtime invariant auditor (``REPRO_AUDIT``); when set, every
+        #: allocate/release re-checks the freelist bounds.
+        self.auditor = None
 
     def _slot(self, core: int) -> int:
         return 0 if self.shared else core
@@ -83,6 +86,8 @@ class Renamer:
         self._free[self._slot(core)] -= 1
         self._held[core] += 1
         self.allocations += 1
+        if self.auditor is not None:
+            self.auditor.on_renamer(self)
         return True
 
     def release(self, core: int) -> None:
@@ -92,6 +97,8 @@ class Renamer:
             raise ProtocolError("renamer freelist overflow (double release)")
         self._free[slot] += 1
         self._held[core] -= 1
+        if self.auditor is not None:
+            self.auditor.on_renamer(self)
 
     def snapshot(self) -> tuple:
         """Capture freelist state for speculative execution."""

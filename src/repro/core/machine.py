@@ -26,6 +26,7 @@ from repro.core.replay import (
 from repro.core.scalar_core import ScalarCore
 from repro.isa.program import Program
 from repro.memory.image import MemoryImage
+from repro.validation.invariants import InvariantAuditor, audit_enabled
 
 #: Cycles without any retire/dispatch/commit before declaring deadlock.
 DEADLOCK_WINDOW = 100_000
@@ -86,6 +87,7 @@ class Machine:
         config: MachineConfig,
         policy: Policy,
         jobs: Sequence[Optional[Job]],
+        audit: Optional[bool] = None,
     ) -> None:
         if len(jobs) != config.num_cores:
             raise SimulationError(
@@ -116,6 +118,11 @@ class Machine:
         #: (kept off :class:`RunResult` so cached result pickles keep their
         #: shape across cache versions).
         self.profile: Optional[ReplayProfile] = None
+        #: Opt-in runtime invariant auditor (``REPRO_AUDIT`` / ``audit=True``);
+        #: strictly read-only, so audited runs stay bit-identical.
+        self.auditor = None
+        if audit if audit is not None else audit_enabled():
+            self.auditor = InvariantAuditor(self)
         self.cores: List[Optional[ScalarCore]] = []
         for core_id, job in enumerate(jobs):
             if job is None:
@@ -157,6 +164,8 @@ class Machine:
                 if self._loop_recorder is not None:
                     self._loop_recorder.on_core_done()
                 progress += 1
+        if self.auditor is not None:
+            self.auditor.check_machine(cycle)
         return progress
 
     @property
@@ -289,8 +298,9 @@ def run_policy(
     max_cycles: int = 3_000_000,
     fast_forward: Optional[bool] = None,
     fast_path: Optional[bool] = None,
+    audit: Optional[bool] = None,
 ) -> RunResult:
     """Convenience wrapper: build a machine and run it."""
-    return Machine(config, policy, jobs).run(
+    return Machine(config, policy, jobs, audit=audit).run(
         max_cycles=max_cycles, fast_forward=fast_forward, fast_path=fast_path
     )

@@ -68,6 +68,15 @@ def greedy_partition(
         for _gain, core in positive:
             if remaining <= 0:
                 break
+            # Recheck at grant time: the sorted gains were computed before
+            # the round started, and a grant earlier in the round may have
+            # moved this core past its saturation point (its marginal gain
+            # dropping below GAIN_EPSILON, e.g. at the memory ceiling).
+            # Granting on the stale gain would park a lane where it earns
+            # nothing while a later round could still hand it to a core
+            # with real headroom.
+            if roofline.net_gain(plan[core], active[core]) <= GAIN_EPSILON:
+                continue
             plan[core] += 1
             remaining -= 1
             progressed = True

@@ -822,4 +822,8 @@ class ReplayController:
         if coproc.mode is not SharingMode.COARSE_TEMPORAL:
             coproc._rotate = (coproc._rotate + template.period) % coproc.config.num_cores
         txn.commit()
+        if machine.auditor is not None:
+            # Replay-template/live-state agreement: the committed period's
+            # resulting state must satisfy every structural invariant.
+            machine.auditor.check_replay_commit(base + template.period, template)
         return True

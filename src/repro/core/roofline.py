@@ -68,9 +68,21 @@ class RooflineModel:
         return dict(self.mem_bandwidths)["dram"]
 
     def bandwidth_for(self, level: str) -> float:
-        """Bandwidth ceiling (B/cycle) of ``level``; falls back to DRAM."""
+        """Bandwidth ceiling (B/cycle) of ``level``.
+
+        Raises :class:`ConfigurationError` on an unknown residency level —
+        a silent DRAM fallback would hand a typo'd level a plausible but
+        wrong memory ceiling (``OIValue`` validates levels at construction,
+        so this only fires for levels built outside the ISA layer).
+        """
         bandwidths = dict(self.mem_bandwidths)
-        return bandwidths.get(level, bandwidths["dram"])
+        try:
+            return bandwidths[level]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown residency level {level!r}; "
+                f"expected one of {sorted(bandwidths)}"
+            ) from None
 
     @classmethod
     def from_config(

@@ -20,6 +20,14 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.common.errors import ConfigurationError
+
+#: The residency levels of the memory hierarchy (paper Fig. 4 / §5.1).
+#: ``OIValue`` is the single validation point for level names — everything
+#: downstream (the roofline's hierarchical ceilings, trace serialisation)
+#: may assume a level came from this set.
+MEMORY_LEVELS = ("vec_cache", "l2", "dram")
+
 
 class SystemRegister(enum.Enum):
     """Names of the dedicated EM-SIMD registers."""
@@ -69,8 +77,11 @@ class OIValue:
     def __post_init__(self) -> None:
         if self.issue < 0 or self.mem < 0:
             raise ValueError("operational intensities must be non-negative")
-        if self.level not in ("vec_cache", "l2", "dram"):
-            raise ValueError(f"unknown memory level {self.level!r}")
+        if self.level not in MEMORY_LEVELS:
+            raise ConfigurationError(
+                f"unknown memory level {self.level!r}; "
+                f"expected one of {MEMORY_LEVELS}"
+            )
 
     @property
     def is_phase_end(self) -> bool:

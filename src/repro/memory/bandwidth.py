@@ -20,6 +20,9 @@ class BandwidthRegulator:
         self._next_free = 0.0
         self.bytes_served = 0
         self.requests_served = 0
+        #: Runtime invariant auditor (``REPRO_AUDIT``); when set, every
+        #: served request re-checks the channel's queue accounting.
+        self.auditor = None
 
     def serve(self, nbytes: int, earliest_cycle: float) -> float:
         """Schedule ``nbytes`` no earlier than ``earliest_cycle``.
@@ -33,6 +36,8 @@ class BandwidthRegulator:
         self._next_free = finish
         self.bytes_served += nbytes
         self.requests_served += 1
+        if self.auditor is not None:
+            self.auditor.on_bandwidth_serve(self, nbytes, earliest_cycle, start, finish)
         return finish
 
     def snapshot(self) -> tuple:

@@ -1,0 +1,36 @@
+"""Differential validation: cross-engine fuzzing and runtime invariant audits.
+
+The simulator has one reference engine (the seed interpreter, cycle by
+cycle) and three bit-exactness-preserving fast paths layered on top of it
+(pre-decoded scalar dispatch, idle-cycle fast-forward, steady-state loop
+replay).  This package keeps them honest as the codebase grows:
+
+:mod:`repro.validation.fingerprint`
+    A named-section fingerprint of everything a :class:`RunResult`
+    exposes, and a differ that reports exactly which section diverged.
+:mod:`repro.validation.difftest`
+    The cross-engine differential fuzzer: random programs run through
+    every engine combination under every sharing mode, diffed against the
+    seed engine (``python -m repro diff-fuzz``).
+:mod:`repro.validation.shrink`
+    An automatic shrinker reducing a diverging case to a minimal repro
+    and emitting it as a ready-to-commit regression test.
+:mod:`repro.validation.invariants`
+    Opt-in runtime invariant audits (``REPRO_AUDIT`` / ``--audit``) wired
+    into the machine, lane table, renamer, LSUs and bandwidth model.
+"""
+
+from repro.validation.fingerprint import (
+    diff_fingerprints,
+    fingerprint_sections,
+    run_fingerprint,
+)
+from repro.validation.invariants import InvariantAuditor, audit_enabled
+
+__all__ = [
+    "InvariantAuditor",
+    "audit_enabled",
+    "diff_fingerprints",
+    "fingerprint_sections",
+    "run_fingerprint",
+]

@@ -1,0 +1,372 @@
+"""Cross-engine differential fuzzing (``python -m repro diff-fuzz``).
+
+The simulator can execute one program eight ways: the scalar cores run
+either the seed interpreter or the pre-decoded dispatch table
+(``REPRO_NO_PRE_DECODE``), idle stretches are either stepped or
+fast-forwarded (``fast_forward``), and steady loops are either stepped or
+replayed from verified templates (``fast_path``).  All eight are promised
+bit-identical.  This module generates randomized multi-phase co-running
+programs, runs each through every engine combination under every sharing
+mode, and diffs the complete run fingerprint (architectural memory state,
+metrics, lane timelines, stalls, phase records, cycle counts) against the
+seed engine — the ECM-style model-validation loop turned on the simulator
+itself.
+
+Cases are described by :class:`CaseSpec`, an explicit per-phase
+instruction mix (not an opaque RNG trace), so the shrinker in
+:mod:`repro.validation.shrink` can reduce a diverging case field by field
+and a minimized spec can be pasted verbatim into a regression test.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import MachineConfig, experiment_config
+from repro.compiler.ir import Kernel
+from repro.compiler.pipeline import CompileOptions, build_image, compile_kernel
+from repro.core.machine import Job, Machine
+from repro.core.policies import policy
+from repro.validation.fingerprint import (
+    describe_divergence,
+    diff_fingerprints,
+    fingerprint_sections,
+)
+from repro.workloads.generator import COMPUTE_OI_RANGE, MEMORY_OI_RANGE
+from repro.workloads.synth import Counts, solve_counts, synth_loop
+
+#: One policy per sharing mode (spatial, temporal, coarse-temporal) — the
+#: engine fast paths interact with the *mode*, not with the lane manager,
+#: so this triple covers every dispatch/arbitration code path.
+DEFAULT_POLICIES: Tuple[str, ...] = ("occamy", "fts", "cts")
+
+#: Element trip counts the fuzzer draws from.  Deliberately smaller than
+#: the benchmark trips: engine divergence is a per-iteration property, so
+#: short loops find the same bugs at a fraction of the cost, and small
+#: footprints still split across residency classes under the scaled caches.
+STREAMING_TRIPS = (192, 320, 512)
+RESIDENT_TRIPS = (96, 160, 256)
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One of the eight engine combinations."""
+
+    pre_decode: bool
+    fast_forward: bool
+    fast_path: bool
+
+    @property
+    def label(self) -> str:
+        parts = []
+        if self.pre_decode:
+            parts.append("decode")
+        if self.fast_forward:
+            parts.append("ff")
+        if self.fast_path:
+            parts.append("replay")
+        return "+".join(parts) if parts else "interp"
+
+
+#: The seed engine: interpreter, cycle by cycle, no replay.
+BASELINE_ENGINE = EngineSpec(pre_decode=False, fast_forward=False, fast_path=False)
+
+#: Every non-baseline combination, cheapest first.
+FAST_ENGINES: Tuple[EngineSpec, ...] = tuple(
+    EngineSpec(pre_decode, fast_forward, fast_path)
+    for pre_decode in (False, True)
+    for fast_forward in (False, True)
+    for fast_path in (False, True)
+    if (pre_decode, fast_forward, fast_path) != (False, False, False)
+)
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase: an explicit instruction mix plus loop shape."""
+
+    comp: int
+    reads: int
+    extra_loads: int
+    stores: int
+    trip: int
+    repeats: int
+
+    def counts(self) -> Counts:
+        """The (validated) instruction mix; raises ``CompilationError``."""
+        return Counts(self.comp, self.reads, self.extra_loads, self.stores)
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One fuzz case: per-core phase lists plus compiler options.
+
+    ``cores[i]`` is either a tuple of :class:`PhaseSpec` or ``None`` (an
+    idle core slot) — the shrinker uses ``None`` to drop whole co-runners.
+    """
+
+    seed: int
+    cores: Tuple[Optional[Tuple[PhaseSpec, ...]], ...]
+    unroll: int = 1
+    fold_constants: bool = False
+    fuse_fma: bool = False
+
+
+@dataclass
+class Divergence:
+    """One engine/policy combination disagreeing with the seed engine."""
+
+    seed: int
+    policy: str
+    engine: str
+    sections: List[str]
+    detail: List[str]
+    spec: Optional[CaseSpec] = field(default=None, repr=False)
+
+    def __str__(self) -> str:
+        return (
+            f"seed {self.seed}: {self.engine} under {self.policy} diverged "
+            f"in {', '.join(self.sections)}"
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "policy": self.policy,
+            "engine": self.engine,
+            "sections": list(self.sections),
+            "detail": list(self.detail),
+            "spec": None if self.spec is None else asdict(self.spec),
+        }
+
+
+# --- case generation --------------------------------------------------------
+
+
+def generate_case(seed: int) -> CaseSpec:
+    """Draw one deterministic random case.
+
+    Core 0 leans memory-intensive and core 1 compute-intensive (the
+    paper's pairing), with enough probability mass on the flipped and
+    mixed shapes that same-class co-runners and multi-phase workloads are
+    exercised too.
+    """
+    rng = random.Random(seed)
+    cores: List[Tuple[PhaseSpec, ...]] = []
+    for core in range(2):
+        phases: List[PhaseSpec] = []
+        for _ in range(rng.randint(1, 2)):
+            streaming = rng.random() < (0.75 if core == 0 else 0.3)
+            if streaming:
+                oi = round(rng.uniform(*MEMORY_OI_RANGE), 3)
+                counts = solve_counts(oi, min_footprint=3)
+                trip = rng.choice(STREAMING_TRIPS)
+                repeats = 1
+            else:
+                oi = round(rng.uniform(*COMPUTE_OI_RANGE), 3)
+                counts = solve_counts(oi)
+                trip = rng.choice(RESIDENT_TRIPS)
+                repeats = rng.randint(1, 3)
+            phases.append(
+                PhaseSpec(
+                    comp=counts.comp,
+                    reads=counts.reads,
+                    extra_loads=counts.extra_loads,
+                    stores=counts.stores,
+                    trip=trip,
+                    repeats=repeats,
+                )
+            )
+        cores.append(tuple(phases))
+    return CaseSpec(
+        seed=seed,
+        cores=tuple(cores),
+        unroll=rng.choice((1, 1, 1, 2)),
+        fold_constants=rng.random() < 0.25,
+        fuse_fma=rng.random() < 0.25,
+    )
+
+
+def case_kernels(spec: CaseSpec) -> List[Optional[Kernel]]:
+    """Materialise the spec's per-core kernels (deterministic)."""
+    kernels: List[Optional[Kernel]] = []
+    for core, phases in enumerate(spec.cores):
+        if not phases:
+            kernels.append(None)
+            continue
+        loops = tuple(
+            synth_loop(
+                f"s{spec.seed}c{core}p{index}",
+                phase.counts(),
+                trip_count=phase.trip,
+                repeats=phase.repeats,
+            )
+            for index, phase in enumerate(phases)
+        )
+        kernels.append(
+            Kernel(
+                name=f"difftest.s{spec.seed}c{core}",
+                array_length=max(loop.trip_count for loop in loops) + 2,
+                loops=loops,
+            )
+        )
+    return kernels
+
+
+# --- engine execution -------------------------------------------------------
+
+
+@contextmanager
+def _engine_env(engine: EngineSpec):
+    """Select the scalar-core engine (read at ``ScalarCore`` construction)."""
+    saved = os.environ.pop("REPRO_NO_PRE_DECODE", None)
+    if not engine.pre_decode:
+        os.environ["REPRO_NO_PRE_DECODE"] = "1"
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_NO_PRE_DECODE", None)
+        else:
+            os.environ["REPRO_NO_PRE_DECODE"] = saved
+
+
+class CompiledCase:
+    """One spec compiled once; images are rebuilt fresh for every run."""
+
+    def __init__(self, spec: CaseSpec, config: Optional[MachineConfig] = None) -> None:
+        self.spec = spec
+        self.config = config if config is not None else experiment_config()
+        options = CompileOptions(
+            memory=self.config.memory,
+            unroll=spec.unroll,
+            fold_constants=spec.fold_constants,
+            fuse_fma=spec.fuse_fma,
+        )
+        self.kernels = case_kernels(spec)
+        self.programs = [
+            None if kernel is None else compile_kernel(kernel, options)
+            for kernel in self.kernels
+        ]
+        if all(program is None for program in self.programs):
+            raise ValueError("a case needs at least one running core")
+
+    def jobs(self) -> List[Optional[Job]]:
+        """Fresh jobs — runs mutate their memory images."""
+        return [
+            None
+            if program is None
+            else Job(program=program, image=build_image(kernel, core_id=core))
+            for core, (kernel, program) in enumerate(zip(self.kernels, self.programs))
+        ]
+
+    def run(
+        self,
+        policy_key: str,
+        engine: EngineSpec,
+        max_cycles: int = 3_000_000,
+        audit: Optional[bool] = None,
+    ):
+        """One simulation of this case under ``policy_key`` on ``engine``."""
+        with _engine_env(engine):
+            machine = Machine(self.config, policy(policy_key), self.jobs(), audit=audit)
+            return machine.run(
+                max_cycles=max_cycles,
+                fast_forward=engine.fast_forward,
+                fast_path=engine.fast_path,
+            )
+
+
+def check_case(
+    spec: CaseSpec,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    engines: Sequence[EngineSpec] = FAST_ENGINES,
+    config: Optional[MachineConfig] = None,
+    max_cycles: int = 3_000_000,
+    audit: Optional[bool] = None,
+) -> List[Divergence]:
+    """Diff every requested engine against the seed engine.
+
+    Returns one :class:`Divergence` per (policy, engine) pair whose full
+    run fingerprint differs from the baseline's; empty means the fast
+    paths are bit-exact on this case.
+    """
+    compiled = CompiledCase(spec, config)
+    divergences: List[Divergence] = []
+    for policy_key in policies:
+        baseline = fingerprint_sections(
+            compiled.run(policy_key, BASELINE_ENGINE, max_cycles, audit)
+        )
+        for engine in engines:
+            sections = fingerprint_sections(
+                compiled.run(policy_key, engine, max_cycles, audit)
+            )
+            diverged = diff_fingerprints(baseline, sections)
+            if diverged:
+                divergences.append(
+                    Divergence(
+                        seed=spec.seed,
+                        policy=policy_key,
+                        engine=engine.label,
+                        sections=diverged,
+                        detail=describe_divergence(baseline, sections, diverged),
+                        spec=spec,
+                    )
+                )
+    return divergences
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing sweep."""
+
+    seeds: List[int]
+    cases: int
+    runs: int
+    divergences: List[Divergence]
+
+    @property
+    def clean(self) -> bool:
+        return not self.divergences
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "seeds": self.seeds,
+            "cases": self.cases,
+            "runs": self.runs,
+            "clean": self.clean,
+            "divergences": [d.to_json() for d in self.divergences],
+        }
+
+
+def fuzz_seeds(
+    seeds: Sequence[int],
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    engines: Sequence[EngineSpec] = FAST_ENGINES,
+    config: Optional[MachineConfig] = None,
+    max_cycles: int = 3_000_000,
+    audit: Optional[bool] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run :func:`check_case` over ``seeds``; collect every divergence."""
+    if config is None:
+        config = experiment_config()
+    divergences: List[Divergence] = []
+    runs_per_case = len(policies) * (len(engines) + 1)
+    for index, seed in enumerate(seeds):
+        spec = generate_case(seed)
+        found = check_case(spec, policies, engines, config, max_cycles, audit)
+        divergences.extend(found)
+        if progress is not None and ((index + 1) % 10 == 0 or found):
+            status = f"{len(divergences)} divergence(s)" if divergences else "clean"
+            progress(f"  [{index + 1}/{len(seeds)}] seed {seed}: {status}")
+    return FuzzReport(
+        seeds=list(seeds),
+        cases=len(seeds),
+        runs=len(seeds) * runs_per_case,
+        divergences=divergences,
+    )

@@ -1,0 +1,94 @@
+"""Run fingerprints: everything observable about a :class:`RunResult`.
+
+The differential layers (the determinism suite, the cross-engine fuzzer)
+compare complete runs across execution strategies, so the fingerprint must
+cover every value a figure or table could read: cycle counts, uop/stall/
+overhead counters, phase records, lane timelines, LSU/cache statistics and
+the final memory image bytes.  ``fingerprint_sections`` keeps the values
+grouped under stable names so a mismatch can be reported as *which* piece
+of state diverged rather than as two giant unequal tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+def fingerprint_sections(result) -> Dict[str, object]:
+    """Named, hashable sections of everything observable about a run.
+
+    Accepts any object shaped like :class:`~repro.core.machine.RunResult`.
+    Section values are plain hashable tuples, so two runs can be compared
+    section-by-section and the diverging sections named.
+    """
+    m = result.metrics
+    return {
+        "policy": result.policy_key,
+        "total_cycles": result.total_cycles,
+        "core_cycles": tuple(result.core_cycles),
+        "compute_uops": tuple(m.compute_uops),
+        "ldst_uops": tuple(m.ldst_uops),
+        "flops": tuple(m.flops),
+        "busy_pipe_slots": m.busy_pipe_slots,
+        "stalls": tuple(
+            tuple(sorted((reason.name, count) for reason, count in per_core.items()))
+            for per_core in m.stalls
+        ),
+        "overhead": (tuple(m.monitor_cycles), tuple(m.reconfig_cycles)),
+        "reconfigurations": (tuple(m.reconfig_success), tuple(m.reconfig_failed)),
+        "phases": tuple(
+            (p.core, repr(p.oi), p.start_cycle, p.end_cycle, p.compute_uops, p.ldst_uops)
+            for p in m.phases
+        ),
+        "lane_timelines": tuple(tuple(t.points) for t in m.lane_timeline),
+        "busy_lanes_series": tuple(
+            tuple(series.totals()) for series in m.busy_lanes_series
+        ),
+        "lsu_stats": tuple(repr(stats) for stats in result.lsu_stats),
+        "cache_stats": tuple(
+            sorted((name, repr(stats)) for name, stats in result.cache_stats.items())
+        ),
+        "memory_images": tuple(
+            None
+            if image is None
+            else tuple((name, array.tobytes()) for name, array in image)
+            for image in result.images
+        ),
+    }
+
+
+def run_fingerprint(result) -> tuple:
+    """The full fingerprint as one hashable tuple (section order is fixed)."""
+    return tuple(fingerprint_sections(result).items())
+
+
+def diff_fingerprints(baseline: Dict[str, object], other: Dict[str, object]) -> List[str]:
+    """Names of the sections in which ``other`` differs from ``baseline``.
+
+    Both arguments come from :func:`fingerprint_sections`.  Returns an
+    empty list when the runs are bit-identical.
+    """
+    diverged = []
+    for section, expected in baseline.items():
+        if other.get(section) != expected:
+            diverged.append(section)
+    for section in other:
+        if section not in baseline:  # pragma: no cover - defensive
+            diverged.append(section)
+    return diverged
+
+
+def describe_divergence(
+    baseline: Dict[str, object], other: Dict[str, object], sections: List[str]
+) -> List[str]:
+    """Short human-readable lines describing each diverging section."""
+    lines = []
+    for section in sections:
+        expected = repr(baseline.get(section))
+        got = repr(other.get(section))
+        if len(expected) > 120:
+            expected = expected[:117] + "..."
+        if len(got) > 120:
+            got = got[:117] + "..."
+        lines.append(f"{section}: baseline={expected} got={got}")
+    return lines

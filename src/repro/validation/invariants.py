@@ -1,0 +1,269 @@
+"""Opt-in runtime invariant audits (``REPRO_AUDIT`` / ``--audit``).
+
+When enabled, an :class:`InvariantAuditor` is attached to the machine at
+construction and re-checks the co-processor's structural invariants —
+
+* **lane conservation**: owned + free lane counts equal the total, the
+  :class:`LaneTable`'s incremental indexes agree with the per-ExeBU
+  ownership ground truth, and (under spatial sharing) the resource
+  table's ``<VL>`` registers agree with the lane table;
+* **ROB retire ordering**: every instruction pool holds its entries in
+  strictly increasing sequence order, dependences point only at older
+  instructions, and transmit/commit counters reconcile with occupancy;
+* **physical-register leak-freedom**: each core's renamer hold count
+  equals the number of in-flight pool entries holding a physical
+  register, and every freelist stays within ``[0, capacity]``;
+* **replay-template/live-state agreement**: after every committed loop-
+  replay period the full machine audit re-runs on the replayed state;
+* **bandwidth accounting**: every per-level regulator serves requests at
+  or after their arrival, advances its queue monotonically within a
+  request, and keeps its counters consistent.
+
+Every check is strictly read-only — enabling the audit cannot perturb the
+simulation, so audited runs stay bit-identical to unaudited ones (the
+validation tests assert this).  A violated invariant raises
+:class:`~repro.common.errors.InvariantViolation`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.common.errors import InvariantViolation
+
+
+def audit_enabled() -> bool:
+    """Whether machines self-audit by default (``REPRO_AUDIT`` non-empty)."""
+    return bool(os.environ.get("REPRO_AUDIT"))
+
+
+class InvariantAuditor:
+    """Read-only consistency checker wired into one :class:`Machine`.
+
+    Construction installs the auditor on the machine's lane table,
+    renamer, LSUs and bandwidth regulators (their per-call hooks), and
+    :meth:`check_machine` runs the full structural audit — called by
+    ``Machine.step`` every simulated cycle and by the replay engine at
+    every committed period boundary.
+    """
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.checks = 0
+        coproc = machine.coproc
+        coproc.lane_table.auditor = self
+        coproc.renamer.auditor = self
+        for lsu in coproc.lsus:
+            lsu.auditor = self
+        for regulator in self._regulators():
+            regulator.auditor = self
+
+    def _regulators(self):
+        memory = self.machine.coproc.memory
+        return (memory.vec_cache_bw, memory.l2_bw, memory.dram_bw)
+
+    @staticmethod
+    def _fail(message: str) -> None:
+        raise InvariantViolation(f"invariant audit: {message}")
+
+    # --- per-call hooks -----------------------------------------------------
+
+    def on_lane_table(self, table) -> None:
+        """After a ``reconfigure``: indexes must agree with ground truth."""
+        self.checks += 1
+        owners = {}
+        for core, indices in table._owned.items():
+            if list(indices) != sorted(set(indices)):
+                self._fail(f"core {core} lane index list not sorted-unique: {indices}")
+            if not indices:
+                self._fail(f"core {core} has an empty (should be absent) index entry")
+            for index in indices:
+                owners[index] = core
+        if list(table._free) != sorted(set(table._free)):
+            self._fail(f"free list not sorted-unique: {table._free}")
+        owned_total = sum(len(v) for v in table._owned.values())
+        if owned_total + len(table._free) != table.total_lanes:
+            self._fail(
+                f"lane conservation broken: {owned_total} owned + "
+                f"{len(table._free)} free != {table.total_lanes} total"
+            )
+        for bu in table._lanes:
+            expected = owners.get(bu.index)
+            if bu.owner != expected:
+                self._fail(
+                    f"lane {bu.index} ground-truth owner {bu.owner} != "
+                    f"index owner {expected}"
+                )
+            if bu.owner is None and bu.index not in table._free:
+                self._fail(f"free lane {bu.index} missing from the free list")
+
+    def on_renamer(self, renamer) -> None:
+        """After an allocate/release: freelists stay within bounds."""
+        self.checks += 1
+        for slot, free in enumerate(renamer._free):
+            if not 0 <= free <= renamer._capacity[slot]:
+                self._fail(
+                    f"renamer slot {slot} freelist {free} outside "
+                    f"[0, {renamer._capacity[slot]}]"
+                )
+        for core, held in enumerate(renamer._held):
+            if held < 0:
+                self._fail(f"core {core} holds {held} physical registers")
+            if held > renamer._hold_cap:
+                self._fail(
+                    f"core {core} holds {held} > fairness cap {renamer._hold_cap}"
+                )
+
+    def on_lsu_issue(self, lsu, cycle, result) -> None:
+        """After an ``issue``: completions cannot precede their request."""
+        self.checks += 1
+        if result.complete_cycle < cycle:
+            self._fail(
+                f"core {lsu.core_id} access completes at "
+                f"{result.complete_cycle} before issue cycle {cycle}"
+            )
+        completions = list(lsu._store_completions)
+        if any(b < a for a, b in zip(completions, completions[1:])):
+            self._fail(
+                f"core {lsu.core_id} store queue retires out of FIFO order: "
+                f"{completions}"
+            )
+
+    def on_bandwidth_serve(self, regulator, nbytes, earliest, start, finish) -> None:
+        """After a ``serve``: the channel queue only moves forward."""
+        self.checks += 1
+        if start < earliest:
+            self._fail(
+                f"{regulator.name} channel started a request at {start} "
+                f"before its arrival at {earliest}"
+            )
+        expected = start + nbytes / regulator.bytes_per_cycle
+        if finish != expected or finish < start:
+            self._fail(
+                f"{regulator.name} channel finish {finish} inconsistent with "
+                f"start {start} + {nbytes}B @ {regulator.bytes_per_cycle}B/cyc"
+            )
+        if regulator._next_free != finish:
+            self._fail(
+                f"{regulator.name} channel queue tail {regulator._next_free} "
+                f"!= last finish {finish}"
+            )
+
+    # --- full-machine audit -------------------------------------------------
+
+    def check_machine(self, cycle: int) -> None:
+        """The end-of-cycle structural audit (also run at replay commits)."""
+        self.checks += 1
+        self._check_lanes()
+        self._check_pools(cycle)
+        self._check_renamer_leaks()
+        self._check_bandwidth()
+
+    def check_replay_commit(self, cycle: int, template) -> None:
+        """Audit the live state a committed replay period left behind.
+
+        The replay engine verified every templated event against the live
+        machine while applying the period; this confirms the *resulting*
+        state still satisfies every structural invariant — the agreement
+        check between the template's scripted decisions and the machine
+        they produced.
+        """
+        if template.period <= 0:
+            self._fail(f"replayed a non-positive period {template.period}")
+        self.check_machine(cycle)
+
+    def _check_lanes(self) -> None:
+        from repro.coproc.coprocessor import SharingMode
+
+        coproc = self.machine.coproc
+        self.on_lane_table(coproc.lane_table)
+        self.checks -= 1  # on_lane_table counted itself
+        if coproc.mode is SharingMode.SPATIAL:
+            table = coproc.resource_table
+            table.check_invariant()  # allocated + free == total (<AL>)
+            for core in range(coproc.config.num_cores):
+                owned = coproc.lane_table.owned_count(core)
+                vl = table.vl(core)
+                if owned != vl:
+                    self._fail(
+                        f"core {core} owns {owned} lanes but <VL> says {vl}"
+                    )
+
+    def _check_pools(self, cycle: int) -> None:
+        for pool in self.machine.coproc.pools:
+            entries = pool._entries
+            if pool.transmitted - pool.committed != len(entries):
+                self._fail(
+                    f"core {pool.core_id} pool occupancy {len(entries)} != "
+                    f"{pool.transmitted} transmitted - {pool.committed} committed"
+                )
+            if len(entries) > pool.capacity:
+                self._fail(
+                    f"core {pool.core_id} pool holds {len(entries)} > "
+                    f"capacity {pool.capacity}"
+                )
+            last_seq = None
+            for entry in entries:
+                if entry.core != pool.core_id:
+                    self._fail(
+                        f"core {entry.core} entry seq {entry.seq} in core "
+                        f"{pool.core_id}'s pool"
+                    )
+                if last_seq is not None and entry.seq <= last_seq:
+                    self._fail(
+                        f"core {pool.core_id} pool out of program order: "
+                        f"seq {entry.seq} after {last_seq} (retire ordering)"
+                    )
+                last_seq = entry.seq
+                for dep in entry.deps:
+                    if dep.seq >= entry.seq:
+                        self._fail(
+                            f"entry seq {entry.seq} depends on younger/equal "
+                            f"seq {dep.seq}"
+                        )
+
+    def _check_renamer_leaks(self) -> None:
+        coproc = self.machine.coproc
+        renamer = coproc.renamer
+        self.on_renamer(renamer)
+        self.checks -= 1  # on_renamer counted itself
+        holders = [0] * coproc.config.num_cores
+        for pool in coproc.pools:
+            for entry in pool._entries:
+                if entry.holds_phys_reg:
+                    holders[pool.core_id] += 1
+        slot_held = {}
+        for core in range(coproc.config.num_cores):
+            if renamer._held[core] != holders[core]:
+                self._fail(
+                    f"core {core} renamer holds {renamer._held[core]} physical "
+                    f"registers but {holders[core]} in-flight entries hold one "
+                    f"(leak or double release)"
+                )
+            slot = renamer._slot(core)
+            slot_held[slot] = slot_held.get(slot, 0) + renamer._held[core]
+        for slot, held in slot_held.items():
+            if renamer._free[slot] + held != renamer._capacity[slot]:
+                self._fail(
+                    f"renamer slot {slot}: {renamer._free[slot]} free + "
+                    f"{held} held != capacity {renamer._capacity[slot]}"
+                )
+
+    def _check_bandwidth(self) -> None:
+        for regulator in self._regulators():
+            if regulator._next_free < 0:
+                self._fail(
+                    f"{regulator.name} channel queue tail is negative: "
+                    f"{regulator._next_free}"
+                )
+            if regulator.bytes_served < 0 or regulator.requests_served < 0:
+                self._fail(
+                    f"{regulator.name} channel counters negative: "
+                    f"{regulator.bytes_served}B / {regulator.requests_served} reqs"
+                )
+            if regulator.requests_served == 0 and regulator.bytes_served != 0:
+                self._fail(
+                    f"{regulator.name} channel served {regulator.bytes_served}B "
+                    f"in zero requests"
+                )

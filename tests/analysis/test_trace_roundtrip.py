@@ -1,0 +1,101 @@
+"""Trace export: atomicity guarantees and JSON round-trip fidelity."""
+
+import json
+import os
+
+import pytest
+
+from repro import experiment_config, run_policy
+from repro.analysis import trace as trace_mod
+from repro.analysis.trace import export_trace, trace_dict
+from repro.core.policies import policy
+from tests.conftest import compiled_job, make_axpy, make_two_phase
+
+POLICY_KEYS = ("private", "fts", "vls", "occamy")
+
+
+@pytest.fixture(scope="module")
+def results():
+    config = experiment_config()
+    out = {}
+    for key in POLICY_KEYS:
+        jobs = [
+            compiled_job(make_two_phase(length=256), core_id=0),
+            compiled_job(make_axpy(length=256), core_id=1),
+        ]
+        out[key] = run_policy(config, policy(key), jobs)
+    return out
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("key", POLICY_KEYS)
+    def test_reloaded_trace_matches_live_metrics(self, results, key, tmp_path):
+        result = results[key]
+        metrics = result.metrics
+        path = tmp_path / f"{key}.json"
+        export_trace(result, str(path))
+        data = json.loads(path.read_text())
+
+        assert data["policy"] == key
+        assert data["total_cycles"] == result.total_cycles
+        assert data["core_cycles"] == list(result.core_cycles)
+
+        # Lane timelines survive byte-for-byte (as [cycle, lanes] pairs).
+        for core in range(metrics.num_cores):
+            live = [[int(c), float(v)] for c, v in metrics.lane_timeline[core].points]
+            assert data["lane_timelines"][core] == live
+
+        # Phase records: per-core counts and uop totals reconcile.
+        assert len(data["phases"]) == len(metrics.phases)
+        for exported, live in zip(data["phases"], metrics.phases):
+            assert exported["core"] == live.core
+            assert exported["start"] == live.start_cycle
+            assert exported["end"] == live.end_cycle
+            assert exported["compute_uops"] == live.compute_uops
+            assert exported["ldst_uops"] == live.ldst_uops
+
+        # Stall totals: the JSON books sum to the live counters.
+        for core in range(metrics.num_cores):
+            live_total = sum(metrics.stalls[core].values())
+            assert sum(data["stalls"][core].values()) == live_total
+
+        assert data["reconfigurations"]["success"] == list(metrics.reconfig_success)
+        assert data["reconfigurations"]["failed"] == list(metrics.reconfig_failed)
+        assert data["simd_utilization"] == pytest.approx(metrics.simd_utilization())
+
+    @pytest.mark.parametrize("key", POLICY_KEYS)
+    def test_trace_dict_equals_exported_json(self, results, key, tmp_path):
+        # json round-trip must be lossless for everything trace_dict emits.
+        result = results[key]
+        path = tmp_path / "t.json"
+        export_trace(result, str(path))
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(trace_dict(result))
+        )
+
+
+class TestAtomicity:
+    def test_creates_missing_parent_dirs(self, results, tmp_path):
+        path = tmp_path / "deep" / "nested" / "trace.json"
+        export_trace(results["occamy"], str(path))
+        assert json.loads(path.read_text())["policy"] == "occamy"
+
+    def test_crash_mid_dump_preserves_old_file(self, results, tmp_path, monkeypatch):
+        path = tmp_path / "trace.json"
+        export_trace(results["private"], str(path))
+        before = path.read_text()
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("disk on fire")
+
+        monkeypatch.setattr(trace_mod.json, "dump", explode)
+        with pytest.raises(RuntimeError):
+            export_trace(results["occamy"], str(path))
+        # The old complete trace is untouched; no temp litter remains.
+        assert path.read_text() == before
+        assert os.listdir(tmp_path) == ["trace.json"]
+
+    def test_no_temp_files_after_success(self, results, tmp_path):
+        path = tmp_path / "trace.json"
+        export_trace(results["occamy"], str(path))
+        assert os.listdir(tmp_path) == ["trace.json"]

@@ -22,6 +22,7 @@ from repro import (
     experiment_config,
 )
 from repro.compiler.pipeline import CompileOptions
+from repro.validation.fingerprint import run_fingerprint as validation_run_fingerprint
 
 
 @pytest.fixture(autouse=True, scope="session")
@@ -142,40 +143,9 @@ def run_fingerprint(result) -> tuple:
     """Everything observable about a :class:`RunResult`, hashable.
 
     The determinism suite compares these across execution strategies
-    (serial vs process pool, fast-forward on vs off, cold vs cached), so
-    the fingerprint must cover every metric a figure could read: cycle
-    counts, uop/stall/overhead counters, phase records, lane timelines,
-    LSU/cache statistics and the final memory image bytes.
+    (serial vs process pool, fast-forward on vs off, cold vs cached).
+    Delegates to :mod:`repro.validation.fingerprint` — the same sections
+    the cross-engine differential fuzzer diffs — so the test layer and the
+    fuzzer can never drift apart on what "bit-identical" covers.
     """
-    m = result.metrics
-    return (
-        result.policy_key,
-        result.total_cycles,
-        tuple(result.core_cycles),
-        tuple(m.compute_uops),
-        tuple(m.ldst_uops),
-        tuple(m.flops),
-        m.busy_pipe_slots,
-        tuple(
-            tuple(sorted((reason.name, count) for reason, count in per_core.items()))
-            for per_core in m.stalls
-        ),
-        tuple(m.monitor_cycles),
-        tuple(m.reconfig_cycles),
-        tuple(m.reconfig_success),
-        tuple(m.reconfig_failed),
-        tuple(
-            (p.core, repr(p.oi), p.start_cycle, p.end_cycle, p.compute_uops, p.ldst_uops)
-            for p in m.phases
-        ),
-        tuple(tuple(t.points) for t in m.lane_timeline),
-        tuple(tuple(series.totals()) for series in m.busy_lanes_series),
-        tuple(repr(stats) for stats in result.lsu_stats),
-        tuple(sorted((name, repr(stats)) for name, stats in result.cache_stats.items())),
-        tuple(
-            None
-            if image is None
-            else tuple((name, array.tobytes()) for name, array in image)
-            for image in result.images
-        ),
-    )
+    return validation_run_fingerprint(result)

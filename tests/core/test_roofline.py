@@ -99,6 +99,18 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             RooflineModel(mem_bandwidths=(("l2", 64.0),))  # no dram
 
+    def test_unknown_level_raises_not_dram_fallback(self):
+        # A typo'd residency level must fail loudly: the old silent DRAM
+        # fallback handed it a plausible but wrong memory ceiling.
+        roofline = RooflineModel()
+        with pytest.raises(ConfigurationError, match="unknown residency level"):
+            roofline.bandwidth_for("l3")
+
+    def test_known_levels_still_served(self):
+        roofline = RooflineModel()
+        for level in ("vec_cache", "l2", "dram"):
+            assert roofline.bandwidth_for(level) > 0
+
     @given(st.integers(1, 32), st.floats(0.01, 4.0))
     def test_attainable_monotone_in_lanes(self, lanes, oi_value):
         roofline = RooflineModel()

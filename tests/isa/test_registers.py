@@ -2,7 +2,17 @@
 
 import pytest
 
-from repro.isa.registers import AL, DECISION, OI, STATUS, VL, OIValue, SystemRegister
+from repro.common.errors import ConfigurationError
+from repro.isa.registers import (
+    AL,
+    DECISION,
+    MEMORY_LEVELS,
+    OI,
+    STATUS,
+    VL,
+    OIValue,
+    SystemRegister,
+)
 
 
 class TestSystemRegisters:
@@ -38,8 +48,12 @@ class TestOIValue:
         assert OIValue(0.5, 0.25).level == "dram"
 
     def test_bad_level_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             OIValue(0.5, 0.25, level="l3")
+
+    def test_every_documented_level_accepted(self):
+        for level in MEMORY_LEVELS:
+            assert OIValue(0.5, 0.25, level=level).level == level
 
     def test_str(self):
         assert str(OIValue(0.5, 0.25)) == "(0.5,0.25)"

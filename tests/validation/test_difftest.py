@@ -1,0 +1,156 @@
+"""Cross-engine differential fuzzer: generation, checking, bug detection."""
+
+import pytest
+
+from repro.coproc.metrics import Metrics
+from repro.validation.difftest import (
+    BASELINE_ENGINE,
+    DEFAULT_POLICIES,
+    FAST_ENGINES,
+    CaseSpec,
+    CompiledCase,
+    EngineSpec,
+    PhaseSpec,
+    check_case,
+    fuzz_seeds,
+    generate_case,
+)
+from repro.validation.fingerprint import fingerprint_sections
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        assert generate_case(42) == generate_case(42)
+
+    def test_distinct_seeds_distinct_cases(self):
+        specs = {generate_case(seed) for seed in range(20)}
+        assert len(specs) > 1
+
+    def test_cases_compile(self):
+        for seed in range(5):
+            compiled = CompiledCase(generate_case(seed))
+            assert any(program is not None for program in compiled.programs)
+
+    def test_engine_matrix_is_complete(self):
+        # 2^3 combinations: baseline plus seven fast variants, no dupes.
+        assert len(FAST_ENGINES) == 7
+        assert BASELINE_ENGINE not in FAST_ENGINES
+        assert len(set(FAST_ENGINES)) == 7
+
+    def test_default_policies_cover_every_sharing_mode(self):
+        from repro.core.policies import POLICIES_BY_KEY
+
+        modes = {POLICIES_BY_KEY[key].mode for key in DEFAULT_POLICIES}
+        assert len(modes) == 3
+
+
+class TestCleanEngines:
+    def test_fuzz_seeds_clean(self):
+        # A small always-on slice of the CI sweep: every engine must be
+        # bit-identical to the interpreter on these cases.
+        report = fuzz_seeds(range(3))
+        assert report.clean, "\n".join(str(d) for d in report.divergences)
+        assert report.cases == 3
+        assert report.runs == 3 * len(DEFAULT_POLICIES) * (len(FAST_ENGINES) + 1)
+
+    def test_audited_run_matches_unaudited(self):
+        compiled = CompiledCase(generate_case(11))
+        plain = fingerprint_sections(compiled.run("occamy", BASELINE_ENGINE))
+        audited = fingerprint_sections(
+            compiled.run("occamy", BASELINE_ENGINE, audit=True)
+        )
+        assert plain == audited
+
+
+class TestBugDetection:
+    @pytest.fixture()
+    def lossy_fast_forward(self, monkeypatch):
+        """Inject a bug: the idle fast-forward forgets the elided cycles'
+        metric increments, so every fast-forwarding engine diverges from
+        the interpreter in the stall/overhead accounting."""
+        monkeypatch.setattr(
+            Metrics, "replay_idle_cycles", lambda self, times: None
+        )
+
+    def test_fuzzer_catches_injected_bug(self, lossy_fast_forward):
+        spec = generate_case(0)
+        divergences = check_case(spec, policies=("occamy",))
+        assert divergences, "injected metrics bug went undetected"
+        labels = {d.engine for d in divergences}
+        # Every engine that fast-forwards must trip; the pure pre-decode
+        # engine does not fast-forward and must stay bit-identical.
+        assert any("ff" in label for label in labels)
+        assert "decode" not in labels
+        for divergence in divergences:
+            assert divergence.sections, str(divergence)
+            assert divergence.detail
+
+    def test_divergence_names_the_broken_section(self, lossy_fast_forward):
+        divergences = check_case(
+            generate_case(0),
+            policies=("occamy",),
+            engines=(EngineSpec(pre_decode=False, fast_forward=True, fast_path=False),),
+        )
+        assert divergences
+        sections = set(divergences[0].sections)
+        # Lost idle increments corrupt the stall/overhead books but not the
+        # architectural results: cycles and memory images must still agree.
+        assert sections & {"stalls", "overhead"}
+        assert "total_cycles" not in sections
+        assert "memory_images" not in sections
+
+    def test_divergence_report_is_json_ready(self, lossy_fast_forward):
+        report = fuzz_seeds([0], policies=("occamy",))
+        assert not report.clean
+        import json
+
+        payload = json.dumps(report.to_json())
+        assert "stalls" in payload
+
+
+class TestCli:
+    def test_diff_fuzz_clean_exit_and_report(self, tmp_path):
+        from repro.cli import main
+
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "diff-fuzz",
+                "--seeds",
+                "1",
+                "--policies",
+                "occamy",
+                "--report",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        import json
+
+        report = json.loads(report_path.read_text())
+        assert report["clean"] is True
+        assert report["runs"] == len(FAST_ENGINES) + 1
+
+    def test_diff_fuzz_rejects_unknown_policy(self):
+        from repro.cli import main
+
+        assert main(["diff-fuzz", "--seeds", "1", "--policies", "bogus"]) == 2
+
+    def test_audit_flag_sets_env(self, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.delenv("REPRO_AUDIT", raising=False)
+        main(["diff-fuzz", "--seeds", "1", "--policies", "occamy", "--audit"])
+        import os
+
+        assert os.environ.get("REPRO_AUDIT") == "1"
+
+
+class TestCaseSpecEvalRoundTrip:
+    def test_repr_reconstructs_spec(self):
+        spec = generate_case(3)
+        clone = eval(  # noqa: S307 - controlled input, repr round-trip
+            repr(spec),
+            {"CaseSpec": CaseSpec, "PhaseSpec": PhaseSpec},
+        )
+        assert clone == spec
