@@ -28,10 +28,13 @@ from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
 from repro.common.config import MachineConfig, config_fingerprint
-from repro.core.machine import Job, RunResult
+from repro.core.machine import Job, RunResult, default_event_wheel, default_fast_forward
+from repro.core.replay import default_loop_replay
+from repro.core.scalar_core import default_pre_decode
 
 #: Bump when simulation *semantics* change so old entries stop matching.
-CACHE_VERSION = 1
+#: v2: tickless event-wheel engine added; engine kill switches join the key.
+CACHE_VERSION = 2
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -95,6 +98,17 @@ def simulation_key(
     """Content hash identifying one simulation's full input."""
     digest = hashlib.sha256()
     digest.update(f"v{CACHE_VERSION}".encode("utf-8"))
+    # Engine kill switches (REPRO_NO_*) select bit-identical fast paths, but
+    # a flipped switch must not serve entries recorded under another engine:
+    # results carry engine-side profile fields, and a cache hit must mean
+    # "this exact run would have been produced".
+    engines = (
+        default_pre_decode(),
+        default_fast_forward(),
+        default_loop_replay(),
+        default_event_wheel(),
+    )
+    digest.update(repr(engines).encode("utf-8"))
     digest.update(config_fingerprint(config).encode("utf-8"))
     digest.update(policy_key.encode("utf-8"))
     digest.update(str(max_cycles).encode("utf-8"))

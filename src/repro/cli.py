@@ -21,8 +21,9 @@ Commands
     Run a slice of the evaluation and write a Markdown report.
 ``diff-fuzz``
     Cross-engine differential fuzzing: random co-run programs executed
-    through every fast-path combination under every sharing mode, full
-    run fingerprints diffed against the seed interpreter.  Diverging
+    through every fast-path combination (sixteen engines: pre-decode x
+    fast-forward x loop-replay x event-wheel) under every sharing mode,
+    full run fingerprints diffed against the seed interpreter.  Diverging
     cases are shrunk to minimal repros and emitted as regression tests.
 
 Simulation commands accept these runtime options:
@@ -39,7 +40,9 @@ Simulation commands accept these runtime options:
 ``--profile``
     After the command, print how the simulated cycles were covered:
     interpreted cycle-by-cycle, skipped by the idle fast-forward, or
-    replayed from steady-loop templates.  Only runs simulated in *this*
+    replayed from steady-loop templates — plus, under the tickless
+    event-wheel engine, per-component busy / idle-stepped / asleep
+    cycle counts.  Only runs simulated in *this*
     process are counted — cached results and ``--jobs N`` worker
     processes contribute nothing, so use ``--jobs 1 --no-cache`` for a
     complete attribution.
@@ -312,7 +315,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="print simulated-cycle attribution (interpreted vs "
-        "fast-forwarded vs loop-replayed) after the command; only runs "
+        "fast-forwarded vs loop-replayed, plus per-component busy/asleep "
+        "counts under the event-wheel engine) after the command; only runs "
         "simulated in this process are counted, so combine with --jobs 1 "
         "(and --no-cache) for a complete picture",
     )

@@ -31,6 +31,30 @@ class BucketSeries:
         self._sums[index] += value
         self._counts[index] += 1
 
+    def add_range(self, start_cycle: int, end_cycle: int, value: float) -> None:
+        """Record ``value`` once per cycle over ``[start_cycle, end_cycle)``.
+
+        Equivalent to calling :meth:`add` for every cycle in the span but in
+        O(buckets touched) — the batch-recording primitive the tickless
+        scheduler uses for skipped spans (a span of thousands of slept
+        cycles lands as a handful of bucket updates).
+        """
+        if end_cycle <= start_cycle:
+            return
+        size = self.bucket_cycles
+        last_index = (end_cycle - 1) // size
+        while len(self._sums) <= last_index:
+            self._sums.append(0.0)
+            self._counts.append(0)
+        cursor = start_cycle
+        while cursor < end_cycle:
+            index = cursor // size
+            bucket_end = (index + 1) * size
+            span = min(end_cycle, bucket_end) - cursor
+            self._sums[index] += value * span
+            self._counts[index] += span
+            cursor += span
+
     def averages(self) -> List[float]:
         """Average value in each bucket (0.0 for empty buckets)."""
         return [
@@ -70,6 +94,19 @@ class Timeline:
         if self._points and self._points[-1][1] == value:
             return
         self._points.append((cycle, value))
+
+    def record_range(self, start_cycle: int, end_cycle: int, value: float) -> None:
+        """Record ``value`` over ``[start_cycle, end_cycle)``, then revert.
+
+        Batch form used when a span of cycles is settled at once: the level
+        that held before the span is restored at ``end_cycle``, so later
+        point recordings continue from the pre-span value.
+        """
+        if end_cycle <= start_cycle:
+            return
+        resume = self.value_at(start_cycle)
+        self.record(start_cycle, value)
+        self.record(end_cycle, resume)
 
     def value_at(self, cycle: int) -> float:
         """Value of the step function at ``cycle`` (0.0 before first point)."""

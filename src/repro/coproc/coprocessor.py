@@ -59,6 +59,7 @@ class CoProcessor:
         mode: SharingMode,
         metrics: Metrics,
         lane_manager: "LaneManagerProtocol",
+        indexed: bool = False,
     ) -> None:
         self.config = config
         self.mode = mode
@@ -76,8 +77,12 @@ class CoProcessor:
             LoadStoreUnit(c, self.memory, config.core.store_queue_entries)
             for c in range(num_cores)
         ]
+        #: When ``indexed`` (the event-wheel engine), dispatch consumes each
+        #: pool's incrementally maintained ready set instead of re-scanning
+        #: the whole window every cycle.
+        self._indexed = indexed
         self.pools = [
-            InstructionPool(c, config.core.instruction_pool_entries)
+            InstructionPool(c, config.core.instruction_pool_entries, indexed=indexed)
             for c in range(num_cores)
         ]
         self.core_active = [True] * num_cores
@@ -86,6 +91,11 @@ class CoProcessor:
         #: Loop-replay template recorder (see :mod:`repro.core.replay`);
         #: when set, dispatch/commit/EM-SIMD events are mirrored into it.
         self.recorder = None
+        #: Tickless-scheduler callback: invoked with the current cycle when a
+        #: CTS ownership switch fires while components are asleep, so the
+        #: machine can settle and wake them *before* the dispatch phase runs
+        #: (the switch changes sleepers' per-cycle stall attribution).
+        self.wake_all_hook = None
         # Coarse-temporal (CTS) arbitration state.
         self._cts_owner = 0
         self._cts_until = config.vector.cts_quantum
@@ -170,26 +180,51 @@ class CoProcessor:
 
     # --- per-cycle engine ---------------------------------------------------
 
-    def step(self, cycle: int) -> int:
-        """Advance one cycle; returns the number of events processed."""
+    def step(
+        self,
+        cycle: int,
+        awake: Optional[List[bool]] = None,
+        core_events: Optional[List[int]] = None,
+    ) -> int:
+        """Advance one cycle; returns the number of events processed.
+
+        ``awake`` (tickless engine only) masks out sleeping core complexes:
+        their commit/EM-SIMD/dispatch phases are skipped entirely — their
+        per-cycle metric events are settled in bulk when they wake.
+        ``core_events`` when provided accumulates per-core event counts so
+        the scheduler can make per-component sleep decisions.
+        """
         events = 0
         recorder = self.recorder
         for core in range(self.config.num_cores):
+            if awake is not None and not awake[core]:
+                continue
             self.lsus[core].on_cycle(cycle)
+            committed = 0
             for entry in self.pools[core].commit_ready(cycle, COMMIT_WIDTH):
                 if entry.holds_phys_reg:
                     self.renamer.release(core)
                 if recorder is not None:
                     recorder.on_commit(core, entry)
-                events += 1
-        events += self._execute_emsimd(cycle)
-        events += self._dispatch(cycle)
+                committed += 1
+            if core_events is not None:
+                core_events[core] += committed
+            events += committed
+        events += self._execute_emsimd(cycle, awake, core_events)
+        events += self._dispatch(cycle, awake, core_events)
         return events
 
-    def _execute_emsimd(self, cycle: int) -> int:
+    def _execute_emsimd(
+        self,
+        cycle: int,
+        awake: Optional[List[bool]] = None,
+        core_events: Optional[List[int]] = None,
+    ) -> int:
         """Process at most one head-of-pool EM-SIMD instruction per core."""
         events = 0
         for core in range(self.config.num_cores):
+            if awake is not None and not awake[core]:
+                continue
             pool = self.pools[core]
             head = pool.head()
             if head is None or not head.is_emsimd or head.state is not EntryState.WAITING:
@@ -206,6 +241,8 @@ class CoProcessor:
             head.complete_cycle = cycle + 1
             if self.recorder is not None:
                 self.recorder.on_emsimd()
+            if core_events is not None:
+                core_events[core] += 1
             events += 1
         return events
 
@@ -270,18 +307,39 @@ class CoProcessor:
             return None  # draining/restoring contexts
         return self._cts_owner
 
-    def _dispatch(self, cycle: int) -> int:
+    def _dispatch(
+        self,
+        cycle: int,
+        awake: Optional[List[bool]] = None,
+        core_events: Optional[List[int]] = None,
+    ) -> int:
         vector = self.config.vector
         dispatched = 0
         if self.mode is SharingMode.COARSE_TEMPORAL:
+            switches_before = self.cts_switches
             owner = self._cts_arbitrate(cycle)
+            if (
+                awake is not None
+                and self.cts_switches != switches_before
+                and self.wake_all_hook is not None
+            ):
+                # An ownership switch changes sleepers' per-cycle stall
+                # attribution from this very cycle on: settle and wake them
+                # (in place, through the shared ``awake`` list) before
+                # dispatching.
+                self.wake_all_hook(cycle)
             for core in range(self.config.num_cores):
+                if awake is not None and not awake[core]:
+                    continue
                 if core == owner:
                     budget = {
                         "compute": vector.compute_issue_width,
                         "ldst": vector.ldst_issue_width,
                     }
-                    dispatched += self._dispatch_core(core, budget, cycle)
+                    issued = self._dispatch_core(core, budget, cycle)
+                    if core_events is not None:
+                        core_events[core] += issued
+                    dispatched += issued
                 elif not self.pools[core].empty:
                     self.metrics.on_stall(core, StallReason.ISSUE_BUDGET, cycle)
                 elif self.core_active[core]:
@@ -302,24 +360,37 @@ class CoProcessor:
                 for _ in range(self.config.num_cores)
             ]
         for core in self._core_order():
-            dispatched += self._dispatch_core(core, budgets[core], cycle)
+            if awake is not None and not awake[core]:
+                continue
+            issued = self._dispatch_core(core, budgets[core], cycle)
+            if core_events is not None:
+                core_events[core] += issued
+            dispatched += issued
         return dispatched
 
-    def _dispatch_core(self, core: int, budget: Dict[str, int], cycle: int) -> int:
+    def _dispatch_core(
+        self, core: int, budget: Dict[str, int], cycle: int, use_index: bool = True
+    ) -> int:
         pool = self.pools[core]
         if pool.empty:
             if self.core_active[core]:
                 self.metrics.on_stall(core, StallReason.EMPTY, cycle)
             return 0
+        indexed = use_index and self._indexed
+        scan = pool.ready_dispatchable(cycle) if indexed else pool.dispatchable()
         dispatched = 0
         blocked: Optional[StallReason] = None
-        for entry in pool.dispatchable():
+        index = 0
+        while index < len(scan):
+            entry = scan[index]
+            index += 1
             if budget["compute"] <= 0 and budget["ldst"] <= 0:
                 blocked = blocked or StallReason.ISSUE_BUDGET
                 break
             if not entry.ready(cycle):
                 blocked = blocked or StallReason.DEPENDENCY
                 continue
+            woke_now = False
             if entry.kind is EntryKind.COMPUTE:
                 if budget["compute"] <= 0:
                     blocked = blocked or StallReason.ISSUE_BUDGET
@@ -334,6 +405,7 @@ class CoProcessor:
                 entry.state = EntryState.ISSUED
                 entry.complete_cycle = cycle + latency
                 budget["compute"] -= 1
+                woke_now = pool.on_issue(entry, cycle)
                 self.metrics.on_compute_dispatch(core, entry.vl_lanes, entry.flops, cycle)
                 if self.recorder is not None:
                     self.recorder.on_dispatch(core, entry)
@@ -355,13 +427,54 @@ class CoProcessor:
                 entry.state = EntryState.ISSUED
                 entry.complete_cycle = result.complete_cycle
                 budget["ldst"] -= 1
+                woke_now = pool.on_issue(entry, cycle)
                 self.metrics.on_ldst_dispatch(core, entry.vl_lanes, entry.nbytes, cycle)
                 if self.recorder is not None:
                     self.recorder.on_dispatch(core, entry)
                 dispatched += 1
             else:  # EM-SIMD entries never appear (dispatchable() stops there)
                 raise SimulationError("EM-SIMD instruction in dispatch scan")
+            if woke_now:
+                # A zero-latency completion made a younger dependant ready
+                # within this very scan — exactly what the reference
+                # age-order pass picks up as it walks past it.  Rebuild the
+                # candidate list from the index, dropping everything at or
+                # before the issuing entry (older skipped entries are not
+                # revisited by the reference either).
+                scan = [
+                    e
+                    for e in pool.ready_dispatchable(cycle)
+                    if e.seq > entry.seq
+                ]
+                index = 0
         if dispatched == 0:
+            if indexed:
+                # Reconstruct the reference scan's stall attribution (first
+                # blocked reason in age order over the whole window) from
+                # the index.  With zero dispatches the budgets never moved,
+                # so the reference loop's reason is anchored at the oldest
+                # dispatchable entry: a both-budgets-exhausted break there,
+                # DEPENDENCY if it is not ready, else the indexed scan's
+                # own first reason (the oldest dispatchable entry *is*
+                # ``scan[0]``, and both scans visit the same ready entries
+                # in the same order with the same budget state).  A RENAME
+                # failure overrides unconditionally in both scans at the
+                # same (first ready renaming) entry.
+                oldest = pool.oldest_waiting_seq()
+                if oldest is None:
+                    blocked = None
+                elif blocked is StallReason.RENAME:
+                    pass
+                elif budget["compute"] <= 0 and budget["ldst"] <= 0:
+                    blocked = StallReason.ISSUE_BUDGET
+                elif not scan or scan[0].seq != oldest:
+                    blocked = StallReason.DEPENDENCY
+                head = pool.head()
+                if head is not None and head.is_emsimd:
+                    self.metrics.on_stall(core, StallReason.RECONFIG, cycle)
+                elif blocked is not None:
+                    self.metrics.on_stall(core, blocked, cycle)
+                return 0
             head = pool.head()
             if head is not None and head.is_emsimd:
                 self.metrics.on_stall(core, StallReason.RECONFIG, cycle)

@@ -15,8 +15,12 @@ once ready, and commit in order from the head.
 from __future__ import annotations
 
 import enum
+from bisect import bisect_left, insort
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from heapq import heappop, heappush
+from math import ceil
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 from repro.isa.instructions import Instruction
@@ -79,9 +83,19 @@ class DynamicInstruction:
 
 
 class InstructionPool:
-    """Per-core in-flight window with in-order commit."""
+    """Per-core in-flight window with in-order commit.
 
-    def __init__(self, core_id: int, capacity: int) -> None:
+    With ``indexed=True`` the pool additionally maintains an incrementally
+    updated *ready set*: a wake-cycle heap of entries whose producers have
+    all issued, promoted into an age-ordered ready list as their operands'
+    completion cycles pass.  Dispatch then consumes
+    :meth:`ready_dispatchable` instead of re-scanning the full window every
+    cycle.  Any code path that mutates entries behind the index's back
+    (speculative rollback, replay commits, snapshot restore) must call
+    :meth:`mark_dirty`; the next indexed read rebuilds from scratch.
+    """
+
+    def __init__(self, core_id: int, capacity: int, indexed: bool = False) -> None:
         if capacity < 1:
             raise SimulationError("pool capacity must be positive")
         self.core_id = core_id
@@ -89,6 +103,16 @@ class InstructionPool:
         self._entries: List[DynamicInstruction] = []
         self.transmitted = 0
         self.committed = 0
+        self._indexed = indexed
+        self._dirty = True
+        self._by_seq: Dict[int, DynamicInstruction] = {}
+        self._dep_waiters: Dict[int, List[DynamicInstruction]] = {}
+        self._pending_deps: Dict[int, int] = {}
+        self._wake_at: Dict[int, int] = {}
+        self._wake_heap: List[Tuple[int, int]] = []
+        self._ready_seqs: List[int] = []
+        self._waiting_seqs: List[int] = []
+        self._emsimd_seqs: Deque[int] = deque()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -107,6 +131,12 @@ class InstructionPool:
             raise SimulationError(f"core {self.core_id}: pool overflow")
         self._entries.append(entry)
         self.transmitted += 1
+        if self._indexed and not self._dirty:
+            self._by_seq[entry.seq] = entry
+            if entry.is_emsimd:
+                self._emsimd_seqs.append(entry.seq)
+            elif entry.state is EntryState.WAITING:
+                self._register(entry)
 
     def head(self) -> Optional[DynamicInstruction]:
         """The oldest in-flight instruction."""
@@ -156,7 +186,163 @@ class InstructionPool:
                 break
             committed.append(self._entries.pop(0))
         self.committed += len(committed)
+        if committed and self._indexed and not self._dirty:
+            for entry in committed:
+                self._by_seq.pop(entry.seq, None)
+                self._dep_waiters.pop(entry.seq, None)
+                if (
+                    entry.is_emsimd
+                    and self._emsimd_seqs
+                    and self._emsimd_seqs[0] == entry.seq
+                ):
+                    self._emsimd_seqs.popleft()
         return committed
+
+    # ------------------------------------------------------------------
+    # Ready-set index (incremental dispatch candidates)
+    # ------------------------------------------------------------------
+
+    def mark_dirty(self) -> None:
+        """Invalidate the ready-set index after an out-of-band mutation."""
+        self._dirty = True
+
+    def pop_head_for_replay(self) -> DynamicInstruction:
+        """Pop the head entry during a replayed commit (bypasses width/time
+        checks — the template already proved them) and invalidate the index."""
+        self._dirty = True
+        self.committed += 1
+        return self._entries.pop(0)
+
+    def on_issue(self, entry: DynamicInstruction, cycle: int) -> bool:
+        """Notify the index that ``entry`` moved WAITING→ISSUED with its
+        completion cycle assigned, waking any dependants it was blocking.
+
+        Returns True when a dependant became ready *at or before*
+        ``cycle`` — a zero-latency completion (store-forwarded load, L0
+        hit) enables younger entries within the same dispatch scan, so the
+        caller must refresh its candidate list mid-scan.
+        """
+        if not self._indexed or self._dirty:
+            return False
+        waiting = self._waiting_seqs
+        pos = bisect_left(waiting, entry.seq)
+        if pos < len(waiting) and waiting[pos] == entry.seq:
+            waiting.pop(pos)
+        waiters = self._dep_waiters.pop(entry.seq, None)
+        if not waiters:
+            return False
+        done = ceil(entry.complete_cycle)
+        pending = self._pending_deps
+        wake_at = self._wake_at
+        woke_now = False
+        for waiter in waiters:
+            seq = waiter.seq
+            left = pending.get(seq)
+            if left is None:
+                continue
+            if done > wake_at[seq]:
+                wake_at[seq] = done
+            left -= 1
+            pending[seq] = left
+            if left == 0:
+                heappush(self._wake_heap, (wake_at[seq], seq))
+                if wake_at[seq] <= cycle:
+                    woke_now = True
+        return woke_now
+
+    def ready_dispatchable(self, cycle: int) -> List[DynamicInstruction]:
+        """Dispatch candidates this cycle, oldest first, via the ready index.
+
+        Invariant (property-tested): equals
+        ``[e for e in self.dispatchable() if e.ready(cycle)]``.
+        """
+        if self._dirty:
+            self._rebuild()
+        heap = self._wake_heap
+        ready = self._ready_seqs
+        while heap and heap[0][0] <= cycle:
+            seq = heappop(heap)[1]
+            lo, hi = 0, len(ready)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if ready[mid] < seq:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            ready.insert(lo, seq)
+        barrier = self._emsimd_seqs[0] if self._emsimd_seqs else None
+        out: List[DynamicInstruction] = []
+        stale: List[int] = []
+        for seq in ready:
+            if barrier is not None and seq > barrier:
+                break
+            entry = self._by_seq.get(seq)
+            if entry is None or entry.state is not EntryState.WAITING:
+                stale.append(seq)
+                continue
+            if not entry.ready(cycle):
+                # A producer was rewound without a dirty mark; rebuild from
+                # scratch rather than trust the stale wake cycle.
+                self._dirty = True
+                return self.ready_dispatchable(cycle)
+            out.append(entry)
+        for seq in stale:
+            ready.remove(seq)
+        return out
+
+    def oldest_waiting_seq(self) -> Optional[int]:
+        """Sequence number of the oldest dispatch-eligible WAITING entry.
+
+        ``None`` iff :meth:`dispatchable` is empty — i.e. no non-EM-SIMD
+        entry before the EM-SIMD barrier is still WAITING.  This gives the
+        zero-dispatch path the reference scan's stall attribution anchor
+        (whose reason leads the age-order scan) without walking the window.
+        """
+        if self._dirty:
+            self._rebuild()
+        barrier = self._emsimd_seqs[0] if self._emsimd_seqs else None
+        waiting = self._waiting_seqs
+        while waiting:
+            seq = waiting[0]
+            if barrier is not None and seq > barrier:
+                return None
+            entry = self._by_seq.get(seq)
+            if entry is None or entry.state is not EntryState.WAITING:
+                waiting.pop(0)  # stale: mutated behind the index's back
+                continue
+            return seq
+        return None
+
+    def _register(self, entry: DynamicInstruction) -> None:
+        insort(self._waiting_seqs, entry.seq)
+        pending = 0
+        wake = 0
+        for dep in entry.deps:
+            if dep.state is EntryState.WAITING:
+                pending += 1
+                self._dep_waiters.setdefault(dep.seq, []).append(entry)
+            else:
+                done = ceil(dep.complete_cycle)
+                if done > wake:
+                    wake = done
+        self._pending_deps[entry.seq] = pending
+        self._wake_at[entry.seq] = wake
+        if pending == 0:
+            heappush(self._wake_heap, (wake, entry.seq))
+
+    def _rebuild(self) -> None:
+        self._by_seq = {e.seq: e for e in self._entries}
+        self._dep_waiters = {}
+        self._pending_deps = {}
+        self._wake_at = {}
+        self._wake_heap = []
+        self._ready_seqs = []
+        self._waiting_seqs = []
+        self._emsimd_seqs = deque(e.seq for e in self._entries if e.is_emsimd)
+        for entry in self._entries:
+            if not entry.is_emsimd and entry.state is EntryState.WAITING:
+                self._register(entry)
+        self._dirty = False
 
     def snapshot(self) -> tuple:
         """Capture window state for speculative execution.
@@ -183,9 +369,12 @@ class InstructionPool:
             entry.holds_phys_reg = holds
         self.transmitted = transmitted
         self.committed = committed
+        self._dirty = True
 
     def pending_emsimd(self) -> int:
         """Number of EM-SIMD instructions still in flight (for MRS sync)."""
+        if self._indexed and not self._dirty:
+            return len(self._emsimd_seqs)
         return sum(1 for e in self._entries if e.is_emsimd)
 
     def drained_for_head(self) -> bool:

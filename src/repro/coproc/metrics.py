@@ -86,6 +86,11 @@ class Metrics:
         self.reconfig_failed = [0] * num_cores
         self.monitor_cycles = [0] * num_cores
         self.reconfig_cycles = [0] * num_cores
+        #: Per-core sleep occupancy (1.0 per slept cycle), bucketed like the
+        #: lane-usage series.  Written only by the tickless event-wheel run
+        #: loop via :meth:`on_sleep_span`; not part of the result
+        #: fingerprint (it describes the engine, not the machine).
+        self.sleep_series = [BucketSeries(bucket_cycles) for _ in range(num_cores)]
         self.total_cycles = 0
         #: Per-cycle event journal used by the idle-cycle fast-forward:
         #: when armed (a list), stall/overhead increments of the current
@@ -176,6 +181,32 @@ class Metrics:
                 self.monitor_cycles[core] += times
             else:
                 self.reconfig_cycles[core] += times
+
+    def replay_core_idle_cycles(
+        self, events: Tuple[Tuple[str, int, object], ...], times: int
+    ) -> None:
+        """Settle one component's slept span: repeat its captured per-cycle
+        journal entries ``times`` times.
+
+        The tickless scheduler captures, at the cycle a component goes to
+        sleep, the journal entries attributed to that component (its stall
+        reason and any EM-SIMD overhead); a frozen component repeats those
+        exact increments every cycle, so the whole span lands as a handful
+        of bulk adds when the component wakes.
+        """
+        if times <= 0:
+            return
+        for kind, core, what in events:
+            if kind == "stall":
+                self.stalls[core][what] += times
+            elif what == "monitor":
+                self.monitor_cycles[core] += times
+            else:
+                self.reconfig_cycles[core] += times
+
+    def on_sleep_span(self, core: int, start_cycle: int, end_cycle: int) -> None:
+        """Record that ``core``'s complex slept over ``[start, end)``."""
+        self.sleep_series[core].add_range(start_cycle, end_cycle, 1.0)
 
     def snapshot(self) -> tuple:
         """Capture every counter the loop replay can touch.

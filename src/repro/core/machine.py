@@ -8,13 +8,14 @@ halts and drains.
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import MachineConfig
 from repro.common.errors import DeadlockError, SimulationError
-from repro.coproc.coprocessor import CoProcessor
+from repro.coproc.coprocessor import CoProcessor, SharingMode
 from repro.coproc.metrics import Metrics
 from repro.core.policies import Policy
 from repro.core.replay import (
@@ -40,6 +41,17 @@ def default_fast_forward() -> bool:
     determinism test layer and for debugging the fast-forward itself.
     """
     return not os.environ.get("REPRO_NO_FAST_FORWARD")
+
+
+def default_event_wheel() -> bool:
+    """Whether :meth:`Machine.run` uses the tickless event-wheel scheduler.
+
+    On unless ``REPRO_NO_EVENT_WHEEL`` is set (to any non-empty value).
+    The tickless engine — per-component sleep/wake plus ready-set dispatch
+    indexing — is bit-identical to the cycle-by-cycle interpreter; the kill
+    switch exists for the differential-fuzz engine matrix and debugging.
+    """
+    return not os.environ.get("REPRO_NO_EVENT_WHEEL")
 
 
 @dataclass
@@ -88,6 +100,7 @@ class Machine:
         policy: Policy,
         jobs: Sequence[Optional[Job]],
         audit: Optional[bool] = None,
+        event_wheel: Optional[bool] = None,
     ) -> None:
         if len(jobs) != config.num_cores:
             raise SimulationError(
@@ -108,8 +121,32 @@ class Machine:
             total_lanes=config.vector.total_lanes,
             pipes_per_lane=config.vector.compute_issue_width,
         )
-        self.coproc = CoProcessor(config, policy.mode, self.metrics, self.lane_manager)
+        #: Tickless event-wheel engine switch (``REPRO_NO_EVENT_WHEEL``).
+        self._event_wheel = (
+            default_event_wheel() if event_wheel is None else event_wheel
+        )
+        self.coproc = CoProcessor(
+            config,
+            policy.mode,
+            self.metrics,
+            self.lane_manager,
+            indexed=self._event_wheel,
+        )
         self._done: List[bool] = [job is None for job in jobs]
+        # Per-component (core complex = scalar core + pool + LSU) sleep
+        # bookkeeping for the tickless scheduler.
+        num_cores = config.num_cores
+        self._awake: List[bool] = [True] * num_cores
+        self._asleep_count = 0
+        self._live_count = 0
+        self._sleep_from: List[int] = [0] * num_cores
+        self._sleep_events: List[Tuple[Tuple[str, int, object], ...]] = [
+            ()
+        ] * num_cores
+        self._wheel = None
+        self._comp_busy: List[int] = [0] * num_cores
+        self._comp_idle: List[int] = [0] * num_cores
+        self._comp_asleep: List[int] = [0] * num_cores
         #: Loop-replay template recorder (set by the replay engine while a
         #: steady-state period is being recorded; see :mod:`repro.core.replay`).
         self._loop_recorder = None
@@ -191,17 +228,22 @@ class Machine:
 
         A zero-progress cycle leaves every pool, queue and register table
         untouched, so each elided cycle would repeat exactly the metric
-        increments just journalled by the real step.  The jump is capped at
-        the deadlock horizon and at ``max_cycles`` so both failure paths
-        fire at the same cycle as the cycle-by-cycle loop; when no event is
-        pending at all, the machine is frozen and we jump straight to the
-        horizon.  Returns the cycle the caller should resume *after* (the
-        run loop's ``cycle += 1`` then lands on the first interesting one).
+        increments just journalled by the real step.  While a real event is
+        pending the jump goes straight to it — a legitimately long skip
+        (e.g. a drain covering more than ``DEADLOCK_WINDOW`` cycles) is
+        *not* a hang, so the deadlock horizon does not cap it; only when no
+        event is pending at all (the machine is frozen for good) does the
+        jump stop at the horizon, where the deadlock check fires at the
+        same cycle as the cycle-by-cycle loop.  ``max_cycles`` always caps.
+        Returns the cycle the caller should resume *after* (the run loop's
+        ``cycle += 1`` then lands on the first interesting one).
         """
         next_event = self.next_event_cycle(cycle)
-        horizon = last_progress + DEADLOCK_WINDOW + 1
-        target = horizon if next_event is None else next_event
-        target = min(target, horizon, max_cycles)
+        if next_event is None:
+            target = last_progress + DEADLOCK_WINDOW + 1
+        else:
+            target = next_event
+        target = min(target, max_cycles)
         skipped = target - cycle - 1
         if skipped > 0:
             self.metrics.replay_idle_cycles(skipped)
@@ -239,6 +281,41 @@ class Machine:
         if fast_path is None:
             fast_path = default_loop_replay()
         replay = ReplayController(self) if fast_path else None
+        if self._event_wheel:
+            cycle = self._run_wheel(max_cycles, fast_forward, replay)
+        else:
+            cycle = self._run_reference(max_cycles, fast_forward, replay)
+        self.metrics.close(cycle)
+        profile = replay.profile if replay is not None else ReplayProfile()
+        profile.total_cycles = cycle
+        profile.fastforward_cycles = self._ff_skipped
+        profile.interpreted_cycles = (
+            cycle - self._ff_skipped - profile.replayed_cycles
+        )
+        profile.component_busy = list(self._comp_busy)
+        profile.component_idle = list(self._comp_idle)
+        profile.component_asleep = list(self._comp_asleep)
+        self.profile = profile
+        GLOBAL_PROFILE.merge(profile)
+        return RunResult(
+            policy_key=self.policy.key,
+            config=self.config,
+            metrics=self.metrics,
+            total_cycles=cycle,
+            core_cycles=[self.metrics.core_cycles(c) for c in range(self.config.num_cores)],
+            images=[job.image if job else None for job in self.jobs],
+            lane_manager=self.lane_manager,
+            lsu_stats=[lsu.stats for lsu in self.coproc.lsus],
+            cache_stats={
+                "vec_cache": self.coproc.memory.vec_cache.stats,
+                "l2": self.coproc.memory.l2.stats,
+            },
+        )
+
+    def _run_reference(
+        self, max_cycles: int, fast_forward: bool, replay: Optional[ReplayController]
+    ) -> int:
+        """The seed cycle-by-cycle loop (``REPRO_NO_EVENT_WHEEL``)."""
         cycle = 0
         last_progress = 0
         while not self.finished:
@@ -258,7 +335,10 @@ class Machine:
             if self.step(cycle):
                 last_progress = cycle
             else:
-                if cycle - last_progress > DEADLOCK_WINDOW:
+                if (
+                    cycle - last_progress > DEADLOCK_WINDOW
+                    and self.next_event_cycle(cycle) is None
+                ):
                     raise DeadlockError(
                         f"no forward progress since cycle {last_progress} "
                         f"(policy={self.policy.key})"
@@ -266,29 +346,251 @@ class Machine:
                 if fast_forward:
                     cycle = self._fast_forward(cycle, last_progress, max_cycles)
             cycle += 1
-        self.metrics.close(cycle)
-        profile = replay.profile if replay is not None else ReplayProfile()
-        profile.total_cycles = cycle
-        profile.fastforward_cycles = self._ff_skipped
-        profile.interpreted_cycles = (
-            cycle - self._ff_skipped - profile.replayed_cycles
+        return cycle
+
+    # --- tickless event-wheel engine ---------------------------------------
+
+    def _run_wheel(
+        self, max_cycles: int, fast_forward: bool, replay: Optional[ReplayController]
+    ) -> int:
+        """The tickless run loop: per-component sleep/wake on an event wheel.
+
+        A *component* is one core complex — scalar core, instruction pool
+        and LSU.  After a cycle in which a component processed no event, it
+        reports its wake cycle (earliest future cycle at which its
+        behaviour can change: next pool completion, store retire, pending
+        scalar writeback, or CTS quantum boundary) into the wheel and goes
+        to sleep; its per-cycle journal entries (stall reason, EM-SIMD
+        overhead) are captured once and settled in bulk when it wakes.
+        Sleeping components are skipped by :meth:`CoProcessor.step`; when
+        every live component sleeps, the global clock jumps straight to the
+        earliest wake.  Temporal sharing (FTS) never sleeps — its shared
+        issue budget and renamer couple the cores every cycle — and the
+        loop-replay controller suspends sleeping while it probes, records
+        or replays.  Bit-identical to :meth:`_run_reference` (the
+        differential fuzzer diffs the two engines).
+        """
+        from repro.core.scheduling import EventWheel
+
+        num_cores = self.config.num_cores
+        metrics = self.metrics
+        coproc = self.coproc
+        wheel = EventWheel()
+        self._wheel = wheel
+        awake = self._awake
+        self._live_count = sum(
+            1
+            for core_id, core in enumerate(self.cores)
+            if core is not None and not self._done[core_id]
         )
-        self.profile = profile
-        GLOBAL_PROFILE.merge(profile)
-        return RunResult(
-            policy_key=self.policy.key,
-            config=self.config,
-            metrics=self.metrics,
-            total_cycles=cycle,
-            core_cycles=[self.metrics.core_cycles(c) for c in range(self.config.num_cores)],
-            images=[job.image if job else None for job in self.jobs],
-            lane_manager=self.lane_manager,
-            lsu_stats=[lsu.stats for lsu in self.coproc.lsus],
-            cache_stats={
-                "vec_cache": self.coproc.memory.vec_cache.stats,
-                "l2": self.coproc.memory.l2.stats,
-            },
-        )
+        sleep_allowed = coproc.mode is not SharingMode.TEMPORAL
+        coproc.wake_all_hook = self._wake_all_mid_cycle
+        core_events = [0] * num_cores
+        cycle = 0
+        last_progress = 0
+        try:
+            while not self.finished:
+                if cycle >= max_cycles:
+                    self._settle_all(cycle)
+                    raise SimulationError(
+                        f"simulation exceeded {max_cycles} cycles "
+                        f"(policy={self.policy.key})"
+                    )
+                if replay is not None and replay.engaged:
+                    self._settle_all(cycle)
+                    cycle, last_progress = replay.on_cycle(
+                        cycle, max_cycles, last_progress
+                    )
+                    if cycle >= max_cycles:
+                        continue
+                if self._asleep_count:
+                    for component in wheel.due(cycle):
+                        self._settle(component, cycle)
+                    if fast_forward and self._asleep_count == self._live_count:
+                        nxt = wheel.next_wake()
+                        if nxt is None:
+                            # Every component is frozen with no event
+                            # pending: jump to the deadlock horizon.
+                            nxt = last_progress + DEADLOCK_WINDOW + 1
+                        target = min(nxt, max_cycles)
+                        if target > cycle:
+                            skipped = target - cycle
+                            coproc.skip_idle_cycles(skipped)
+                            self._ff_skipped += skipped
+                            cycle = target
+                            continue
+                metrics.begin_idle_cycle()
+                progress = self._step_wheel(cycle, core_events)
+                if progress:
+                    last_progress = cycle
+                else:
+                    if (
+                        cycle - last_progress > DEADLOCK_WINDOW
+                        and self.next_event_cycle(cycle) is None
+                    ):
+                        self._settle_all(cycle)
+                        raise DeadlockError(
+                            f"no forward progress since cycle {last_progress} "
+                            f"(policy={self.policy.key})"
+                        )
+                    if (
+                        fast_forward
+                        and self._asleep_count == 0
+                        and (
+                            not sleep_allowed
+                            or (replay is not None and replay.engaged)
+                        )
+                    ):
+                        # Per-component sleep cannot act (FTS coupling or
+                        # an engaged replay controller): fall back to the
+                        # global idle fast-forward, exactly as the
+                        # reference engine would.
+                        cycle = self._fast_forward(cycle, last_progress, max_cycles)
+                if sleep_allowed and (replay is None or not replay.engaged):
+                    journal = metrics._idle_log or ()
+                    for component in range(num_cores):
+                        if (
+                            not awake[component]
+                            or self._done[component]
+                            or self.cores[component] is None
+                            or core_events[component]
+                        ):
+                            continue
+                        wake = self._component_wake(component, cycle)
+                        if wake is not None and wake <= cycle + 1:
+                            continue  # nothing to skip before the next event
+                        awake[component] = False
+                        self._asleep_count += 1
+                        self._sleep_from[component] = cycle + 1
+                        self._sleep_events[component] = tuple(
+                            event for event in journal if event[1] == component
+                        )
+                        if wake is not None:
+                            wheel.schedule(component, wake)
+                cycle += 1
+        finally:
+            coproc.wake_all_hook = None
+        self._settle_all(cycle)
+        return cycle
+
+    def _step_wheel(self, cycle: int, core_events: List[int]) -> int:
+        """One tickless cycle: step only awake components."""
+        awake = self._awake
+        for component in range(len(core_events)):
+            core_events[component] = 0
+        progress = 0
+        for core_id, core in enumerate(self.cores):
+            if core is not None and not self._done[core_id] and awake[core_id]:
+                retired = core.step(cycle)
+                core_events[core_id] += retired
+                progress += retired
+        progress += self.coproc.step(cycle, awake, core_events)
+        for core_id, core in enumerate(self.cores):
+            if core is None or self._done[core_id] or not awake[core_id]:
+                continue
+            if core.halted and self.coproc.drained(core_id):
+                self._done[core_id] = True
+                self.metrics.on_core_done(core_id, cycle)
+                self.coproc.set_core_active(core_id, False)
+                if self._loop_recorder is not None:
+                    self._loop_recorder.on_core_done()
+                self._live_count -= 1
+                core_events[core_id] += 1
+                progress += 1
+        for core_id, core in enumerate(self.cores):
+            if core is None or self._done[core_id] or not awake[core_id]:
+                continue
+            if core_events[core_id]:
+                self._comp_busy[core_id] += 1
+            else:
+                self._comp_idle[core_id] += 1
+        if self.auditor is not None:
+            self.auditor.check_machine(cycle)
+        return progress
+
+    def _component_wake(self, component: int, cycle: int) -> Optional[int]:
+        """Earliest future cycle at which ``component`` can change behaviour.
+
+        The wake-cycle contract: a sleeping component repeats this cycle's
+        journal entries verbatim until (a) one of its issued instructions
+        completes (unblocking commit, dependants, renamer frees and the
+        transmit gate), (b) a queued store retires from its STQ, (c) a
+        pending vector→scalar writeback lands in the scalar core, or — under
+        coarse temporal sharing — (d) a quantum/drain boundary passes.  CTS
+        ownership *switches* between boundaries are handled by a mid-cycle
+        wake from the arbiter (:attr:`CoProcessor.wake_all_hook`).  Early
+        wakes are harmless; ``None`` means no self-generated event can ever
+        occur (the component sleeps until an external wake or deadlock).
+        """
+        earliest: float = math.inf
+        completion = self.coproc.pools[component].next_completion(cycle)
+        if completion is not None and completion < earliest:
+            earliest = completion
+        retire = self.coproc.lsus[component].next_store_retire(cycle)
+        if retire is not None and retire < earliest:
+            earliest = retire
+        core = self.cores[component]
+        if core is not None:
+            pending = core.next_event_cycle(cycle)
+            if pending is not None and pending < earliest:
+                earliest = pending
+        if self.coproc.mode is SharingMode.COARSE_TEMPORAL:
+            for boundary in (
+                self.coproc._cts_blocked_until,
+                self.coproc._cts_until,
+            ):
+                if cycle < boundary < earliest:
+                    earliest = boundary
+        if earliest is math.inf:
+            return None
+        return int(math.ceil(earliest))
+
+    def _settle(self, component: int, cycle: int) -> None:
+        """Wake ``component``, settling its slept span's metrics in bulk."""
+        if self._awake[component]:
+            return
+        start = self._sleep_from[component]
+        slept = cycle - start
+        if slept > 0:
+            self.metrics.replay_core_idle_cycles(
+                self._sleep_events[component], slept
+            )
+            self.metrics.on_sleep_span(component, start, cycle)
+            self._comp_asleep[component] += slept
+        self._awake[component] = True
+        self._asleep_count -= 1
+        if self._wheel is not None:
+            self._wheel.cancel(component)
+
+    def _settle_all(self, cycle: int) -> None:
+        for component in range(self.config.num_cores):
+            self._settle(component, cycle)
+
+    def _wake_all_mid_cycle(self, cycle: int) -> None:
+        """CTS arbiter callback: an ownership switch fired at ``cycle``.
+
+        Sleeping components' scalar phases for this very cycle were skipped
+        while still frozen (the switch happens in the later dispatch
+        phase), so after settling the span up to ``cycle`` their captured
+        EM-SIMD overhead entries are replayed once more; the dispatch phase
+        then runs live with the post-switch attribution.  Their commit and
+        EM-SIMD phases this cycle are provably no-ops (no completion due
+        before their wake, head not an executable EM-SIMD).
+        """
+        for component in range(self.config.num_cores):
+            if self._awake[component]:
+                continue
+            events = self._sleep_events[component]
+            self._settle(component, cycle)
+            overhead = tuple(event for event in events if event[0] == "overhead")
+            if overhead:
+                self.metrics.replay_core_idle_cycles(overhead, 1)
+                # Mirror the replayed entries into the armed per-cycle
+                # journal: if the component goes back to sleep at the end
+                # of this very cycle, its frozen journal must include the
+                # scalar-phase overhead it keeps incurring.
+                if self.metrics._idle_log is not None:
+                    self.metrics._idle_log.extend(overhead)
 
 
 def run_policy(
@@ -299,8 +601,9 @@ def run_policy(
     fast_forward: Optional[bool] = None,
     fast_path: Optional[bool] = None,
     audit: Optional[bool] = None,
+    event_wheel: Optional[bool] = None,
 ) -> RunResult:
     """Convenience wrapper: build a machine and run it."""
-    return Machine(config, policy, jobs, audit=audit).run(
+    return Machine(config, policy, jobs, audit=audit, event_wheel=event_wheel).run(
         max_cycles=max_cycles, fast_forward=fast_forward, fast_path=fast_path
     )

@@ -54,7 +54,7 @@ against each other.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
@@ -111,6 +111,13 @@ class ReplayProfile:
     replayed_periods: int = 0
     templates_built: int = 0
     replay_aborts: int = 0
+    #: Per-component (core complex) cycle attribution from the tickless
+    #: event-wheel engine: cycles stepped with at least one event, cycles
+    #: stepped with none, and cycles skipped while asleep.  All-zero when
+    #: the event wheel is off (``REPRO_NO_EVENT_WHEEL``).
+    component_busy: List[int] = field(default_factory=list)
+    component_idle: List[int] = field(default_factory=list)
+    component_asleep: List[int] = field(default_factory=list)
 
     def merge(self, other: "ReplayProfile") -> None:
         self.total_cycles += other.total_cycles
@@ -120,6 +127,11 @@ class ReplayProfile:
         self.replayed_periods += other.replayed_periods
         self.templates_built += other.templates_built
         self.replay_aborts += other.replay_aborts
+        self.component_busy = _merge_padded(self.component_busy, other.component_busy)
+        self.component_idle = _merge_padded(self.component_idle, other.component_idle)
+        self.component_asleep = _merge_padded(
+            self.component_asleep, other.component_asleep
+        )
 
     def report(self) -> str:
         """Human-readable attribution table."""
@@ -138,7 +150,34 @@ class ReplayProfile:
             f"  templates built     {self.templates_built:>12}",
             f"  replay aborts       {self.replay_aborts:>12}",
         ]
+        if any(self.component_busy) or any(self.component_asleep):
+            lines.append("per-component stepped cycles (event-wheel engine):")
+            for core in range(len(self.component_busy)):
+                busy = self.component_busy[core]
+                idle = self.component_idle[core]
+                asleep = (
+                    self.component_asleep[core]
+                    if core < len(self.component_asleep)
+                    else 0
+                )
+                lines.append(
+                    f"  core {core}   busy {busy:>12}  idle-stepped {idle:>12}"
+                    f"  asleep {asleep:>12}"
+                )
         return "\n".join(lines)
+
+
+def _merge_padded(mine: List[int], theirs: List[int]) -> List[int]:
+    """Element-wise sum, padding the shorter list with zeros."""
+    if not theirs:
+        return mine
+    if not mine:
+        return list(theirs)
+    size = max(len(mine), len(theirs))
+    return [
+        (mine[i] if i < len(mine) else 0) + (theirs[i] if i < len(theirs) else 0)
+        for i in range(size)
+    ]
 
 
 #: Process-wide aggregate over every completed run (CLI ``--profile``).
@@ -217,13 +256,17 @@ class MachineTxn:
         for core in self.machine.cores:
             if core is not None:
                 core._undo_log = None
+        # The replayed period mutated entries behind the ready-set index
+        # (template-scripted issues bypass the waiter notifications).
+        for pool in self.machine.coproc.pools:
+            pool.mark_dirty()
 
     def rollback(self) -> None:
         machine = self.machine
         coproc = machine.coproc
         coproc.memory.abort_txn()
         for pool, snap in zip(coproc.pools, self._pools):
-            pool.restore(snap)
+            pool.restore(snap)  # restore() also dirties the ready-set index
         for lsu, snap in zip(coproc.lsus, self._lsus):
             lsu.restore(snap)
         coproc.renamer.restore(self._renamer)
@@ -293,7 +336,16 @@ class ReplayController:
             if core is not None:
                 core.on_backedge = self.on_backedge
 
-    # --- detection ---------------------------------------------------------
+    @property
+    def engaged(self) -> bool:
+        """True while the controller is probing, recording or replaying.
+
+        The tickless scheduler suspends per-component sleeping whenever the
+        controller is engaged: probes read full-machine signatures,
+        recording needs every component's live events, and replayed spans
+        advance the clock past any sleeper's bookkeeping.
+        """
+        return self.state is not self._IDLE or self._probe_at >= 0
     #
     # The period is found by *observing state recurrence directly* rather
     # than by trusting one core's backedge interval: a backedge requests a
@@ -792,8 +844,7 @@ class ReplayController:
                         or entry.complete_cycle > cycle
                     ):
                         raise _Mismatch("commit")
-                    pool_entries.pop(0)
-                    pools[core_id].committed += 1
+                    pools[core_id].pop_head_for_replay()
                     if entry.holds_phys_reg:
                         renamer.release(core_id)
                 else:  # "t" — CTS ownership switch

@@ -1,11 +1,13 @@
 """Cross-engine differential fuzzing (``python -m repro diff-fuzz``).
 
-The simulator can execute one program eight ways: the scalar cores run
+The simulator can execute one program sixteen ways: the scalar cores run
 either the seed interpreter or the pre-decoded dispatch table
 (``REPRO_NO_PRE_DECODE``), idle stretches are either stepped or
-fast-forwarded (``fast_forward``), and steady loops are either stepped or
-replayed from verified templates (``fast_path``).  All eight are promised
-bit-identical.  This module generates randomized multi-phase co-running
+fast-forwarded (``fast_forward``), steady loops are either stepped or
+replayed from verified templates (``fast_path``), and the run loop is
+either the reference every-cycle tick or the tickless event wheel with
+ready-set dispatch indexing (``REPRO_NO_EVENT_WHEEL``).  All sixteen are
+promised bit-identical.  This module generates randomized multi-phase co-running
 programs, runs each through every engine combination under every sharing
 mode, and diffs the complete run fingerprint (architectural memory state,
 metrics, lane timelines, stalls, phase records, cycle counts) against the
@@ -54,11 +56,12 @@ RESIDENT_TRIPS = (96, 160, 256)
 
 @dataclass(frozen=True)
 class EngineSpec:
-    """One of the eight engine combinations."""
+    """One of the sixteen engine combinations."""
 
     pre_decode: bool
     fast_forward: bool
     fast_path: bool
+    event_wheel: bool = False
 
     @property
     def label(self) -> str:
@@ -69,19 +72,23 @@ class EngineSpec:
             parts.append("ff")
         if self.fast_path:
             parts.append("replay")
+        if self.event_wheel:
+            parts.append("wheel")
         return "+".join(parts) if parts else "interp"
 
 
-#: The seed engine: interpreter, cycle by cycle, no replay.
+#: The seed engine: interpreter, cycle by cycle, no replay, no wheel.
 BASELINE_ENGINE = EngineSpec(pre_decode=False, fast_forward=False, fast_path=False)
 
 #: Every non-baseline combination, cheapest first.
 FAST_ENGINES: Tuple[EngineSpec, ...] = tuple(
-    EngineSpec(pre_decode, fast_forward, fast_path)
+    EngineSpec(pre_decode, fast_forward, fast_path, event_wheel)
+    for event_wheel in (False, True)
     for pre_decode in (False, True)
     for fast_forward in (False, True)
     for fast_path in (False, True)
-    if (pre_decode, fast_forward, fast_path) != (False, False, False)
+    if (pre_decode, fast_forward, fast_path, event_wheel)
+    != (False, False, False, False)
 )
 
 
@@ -222,17 +229,29 @@ def case_kernels(spec: CaseSpec) -> List[Optional[Kernel]]:
 
 @contextmanager
 def _engine_env(engine: EngineSpec):
-    """Select the scalar-core engine (read at ``ScalarCore`` construction)."""
-    saved = os.environ.pop("REPRO_NO_PRE_DECODE", None)
+    """Select the construction-time engine switches.
+
+    ``REPRO_NO_PRE_DECODE`` is read at ``ScalarCore`` construction and
+    ``REPRO_NO_EVENT_WHEEL`` at ``Machine`` construction, so both must be
+    set before the machine is built.
+    """
+    saved_decode = os.environ.pop("REPRO_NO_PRE_DECODE", None)
+    saved_wheel = os.environ.pop("REPRO_NO_EVENT_WHEEL", None)
     if not engine.pre_decode:
         os.environ["REPRO_NO_PRE_DECODE"] = "1"
+    if not engine.event_wheel:
+        os.environ["REPRO_NO_EVENT_WHEEL"] = "1"
     try:
         yield
     finally:
-        if saved is None:
+        if saved_decode is None:
             os.environ.pop("REPRO_NO_PRE_DECODE", None)
         else:
-            os.environ["REPRO_NO_PRE_DECODE"] = saved
+            os.environ["REPRO_NO_PRE_DECODE"] = saved_decode
+        if saved_wheel is None:
+            os.environ.pop("REPRO_NO_EVENT_WHEEL", None)
+        else:
+            os.environ["REPRO_NO_EVENT_WHEEL"] = saved_wheel
 
 
 class CompiledCase:

@@ -63,6 +63,36 @@ def test_key_covers_every_simulation_input(config):
     assert simulation_key(config, PRIVATE.key, moved_image) != base
 
 
+def test_key_covers_engine_kill_switches(config, monkeypatch):
+    """Flipping any engine kill switch changes the key: a result computed
+    with the tickless wheel (or pre-decode, fast-forward, loop replay)
+    disabled must never satisfy a lookup made with it enabled, even though
+    the runs are promised bit-identical — a cache hit would mask exactly
+    the divergence the diff-fuzzer exists to catch."""
+    jobs = [compiled_job(make_axpy(length=64)), None]
+    for flag in (
+        "REPRO_NO_EVENT_WHEEL",
+        "REPRO_NO_PRE_DECODE",
+        "REPRO_NO_FAST_FORWARD",
+        "REPRO_NO_LOOP_REPLAY",
+    ):
+        monkeypatch.delenv(flag, raising=False)
+    base = simulation_key(config, PRIVATE.key, jobs)
+    seen = {base}
+    for flag in (
+        "REPRO_NO_EVENT_WHEEL",
+        "REPRO_NO_PRE_DECODE",
+        "REPRO_NO_FAST_FORWARD",
+        "REPRO_NO_LOOP_REPLAY",
+    ):
+        monkeypatch.setenv(flag, "1")
+        key = simulation_key(config, PRIVATE.key, jobs)
+        assert key not in seen, f"{flag} did not change the cache key"
+        seen.add(key)
+        monkeypatch.delenv(flag)
+    assert simulation_key(config, PRIVATE.key, jobs) == base
+
+
 def test_version_bump_invalidates_entries(cache, config, small_run, monkeypatch):
     jobs, result = small_run
     key = simulation_key(config, PRIVATE.key, jobs)

@@ -121,6 +121,37 @@ def test_all_fast_paths_off_matches_all_on(config, monkeypatch):
     assert run_fingerprint(optimised) == run_fingerprint(baseline)
 
 
+@pytest.mark.parametrize("policy", EXTENDED_POLICIES, ids=lambda p: p.key)
+def test_event_wheel_is_bit_exact(policy, config, monkeypatch):
+    """Tickless event wheel on vs off: identical under every sharing mode.
+
+    The wheel changes *everything* about the run loop — per-component
+    sleep/wake, bulk metric settling, ready-set dispatch indexing — so
+    this is the broadest single safety net for the tickless engine.
+    """
+    pair = PAIRS[0]
+    monkeypatch.setenv("REPRO_NO_EVENT_WHEEL", "1")
+    reference = run_policy(config, policy, jobs_for_pair(pair, SCALE))
+    monkeypatch.delenv("REPRO_NO_EVENT_WHEEL")
+    tickless = run_policy(config, policy, jobs_for_pair(pair, SCALE))
+    assert run_fingerprint(tickless) == run_fingerprint(reference)
+
+
+def test_event_wheel_env_kill_switch(monkeypatch, config):
+    """REPRO_NO_EVENT_WHEEL=1 selects the reference loop — and changes
+    nothing observable."""
+    from repro.core.machine import default_event_wheel
+
+    monkeypatch.setenv("REPRO_NO_EVENT_WHEEL", "1")
+    assert default_event_wheel() is False
+    pair = PAIRS[0]
+    reference = run_policy(config, ALL_POLICIES[0], jobs_for_pair(pair, SCALE))
+    monkeypatch.delenv("REPRO_NO_EVENT_WHEEL")
+    assert default_event_wheel() is True
+    tickless = run_policy(config, ALL_POLICIES[0], jobs_for_pair(pair, SCALE))
+    assert run_fingerprint(reference) == run_fingerprint(tickless)
+
+
 def test_fast_forward_env_kill_switch(monkeypatch, config):
     """REPRO_NO_FAST_FORWARD=1 selects the slow path — and changes nothing."""
     from repro.core.machine import default_fast_forward

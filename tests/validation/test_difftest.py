@@ -32,10 +32,11 @@ class TestGeneration:
             assert any(program is not None for program in compiled.programs)
 
     def test_engine_matrix_is_complete(self):
-        # 2^3 combinations: baseline plus seven fast variants, no dupes.
-        assert len(FAST_ENGINES) == 7
+        # 2^4 combinations: baseline plus fifteen fast variants, no dupes.
+        assert len(FAST_ENGINES) == 15
         assert BASELINE_ENGINE not in FAST_ENGINES
-        assert len(set(FAST_ENGINES)) == 7
+        assert len(set(FAST_ENGINES)) == 15
+        assert sum(1 for engine in FAST_ENGINES if engine.event_wheel) == 8
 
     def test_default_policies_cover_every_sharing_mode(self):
         from repro.core.policies import POLICIES_BY_KEY
@@ -60,6 +61,56 @@ class TestCleanEngines:
             compiled.run("occamy", BASELINE_ENGINE, audit=True)
         )
         assert plain == audited
+
+
+#: Shrunk regression case: under CTS, the quantum switch lands on a cycle
+#: the event wheel had skipped — one component is asleep when
+#: ``_cts_arbitrate`` rotates ownership, forcing the mid-cycle wake-all
+#: path.  An early wheel engine dropped the re-slept component's
+#: switch-cycle overhead from its frozen journal, shorting ``overhead`` by
+#: one entry per re-sleep; this spec reproduced it in all eight wheel
+#: engines.
+CTS_SWITCH_DURING_SKIP = CaseSpec(
+    seed=0,
+    cores=(
+        (PhaseSpec(comp=17, reads=1, extra_loads=0, stores=3, trip=96, repeats=2),),
+        (PhaseSpec(comp=14, reads=1, extra_loads=0, stores=1, trip=96, repeats=2),),
+    ),
+)
+
+WHEEL_ENGINES = tuple(engine for engine in FAST_ENGINES if engine.event_wheel)
+
+
+class TestCtsSwitchDuringSkip:
+    def test_spec_exercises_a_mid_skip_switch(self, monkeypatch):
+        """The pinned case really does switch quantum while a component
+        sleeps — otherwise it regresses nothing."""
+        import os
+
+        from repro.core.machine import Machine
+        from repro.core.policies import policy
+
+        sleeper_counts = []
+        original = Machine._wake_all_mid_cycle
+
+        def spy(self, cycle):
+            sleeper_counts.append(sum(1 for a in self._awake if not a))
+            return original(self, cycle)
+
+        monkeypatch.setattr(Machine, "_wake_all_mid_cycle", spy)
+        monkeypatch.setenv("REPRO_NO_PRE_DECODE", "1")
+        monkeypatch.delenv("REPRO_NO_EVENT_WHEEL", raising=False)
+        compiled = CompiledCase(CTS_SWITCH_DURING_SKIP)
+        machine = Machine(compiled.config, policy("cts"), compiled.jobs())
+        machine.run()
+        assert machine.coproc.cts_switches > 0
+        assert any(count > 0 for count in sleeper_counts)
+
+    def test_wheel_engines_stay_bit_exact(self):
+        divergences = check_case(
+            CTS_SWITCH_DURING_SKIP, policies=("cts",), engines=WHEEL_ENGINES
+        )
+        assert not divergences, "\n".join(str(d) for d in divergences)
 
 
 class TestBugDetection:
