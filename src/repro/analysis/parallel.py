@@ -14,8 +14,11 @@ Determinism guarantees (asserted by ``tests/integration/test_determinism``):
   output never depends on completion order.
 
 Worker count resolution: an explicit ``jobs`` argument wins, then the
-``REPRO_JOBS`` environment variable, then 1 (serial).  ``jobs <= 0`` means
-"all CPUs".
+``REPRO_JOBS`` environment variable, then 1 (serial).  The literal string
+``"auto"`` means "all CPUs"; anything that is not ``auto`` or a positive
+integer raises :class:`~repro.common.errors.ConfigurationError` — bad
+values are rejected at the edge, never forwarded to
+:class:`~concurrent.futures.ProcessPoolExecutor`.
 """
 
 from __future__ import annotations
@@ -23,9 +26,10 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.common.config import MachineConfig, experiment_config
+from repro.common.errors import ConfigurationError
 from repro.compiler.pipeline import CompileOptions, build_image, compile_kernel
 from repro.core.machine import Job, RunResult, run_policy
 from repro.core.policies import ALL_POLICIES, POLICIES_BY_KEY
@@ -41,18 +45,57 @@ from repro.workloads.pairs import (
 #: Environment variable supplying the default worker count.
 JOBS_ENV = "REPRO_JOBS"
 
+#: Spelling for "one worker per CPU" (``--jobs auto`` / ``REPRO_JOBS=auto``).
+JOBS_AUTO = "auto"
 
-def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Effective worker count: argument, else ``$REPRO_JOBS``, else 1."""
-    if jobs is None:
-        raw = os.environ.get(JOBS_ENV, "")
+
+def _parse_jobs(value: Union[int, str], source: str) -> int:
+    """Validate one worker-count value; raise :class:`ConfigurationError`.
+
+    Accepts a positive integer or the string ``"auto"`` (all CPUs).
+    Everything else — zero, negatives, floats, arbitrary strings — is a
+    configuration mistake that used to slip through silently (or reach
+    ``ProcessPoolExecutor`` as a bad ``max_workers``), so it is rejected
+    here with a message naming the offending source.
+    """
+    if isinstance(value, str):
+        text = value.strip()
+        if text.lower() == JOBS_AUTO:
+            return os.cpu_count() or 1
         try:
-            jobs = int(raw) if raw else 1
+            value = int(text)
         except ValueError:
-            jobs = 1
-    if jobs <= 0:
-        jobs = os.cpu_count() or 1
-    return max(1, jobs)
+            raise ConfigurationError(
+                f"invalid worker count from {source}: {text!r} is neither a "
+                f"positive integer nor {JOBS_AUTO!r}"
+            ) from None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(
+            f"invalid worker count from {source}: expected a positive "
+            f"integer or {JOBS_AUTO!r}, got {value!r}"
+        )
+    if value <= 0:
+        raise ConfigurationError(
+            f"invalid worker count from {source}: {value} is not positive "
+            f"(use {JOBS_AUTO!r} for one worker per CPU)"
+        )
+    return value
+
+
+def resolve_jobs(jobs: Optional[Union[int, str]] = None) -> int:
+    """Effective worker count: argument, else ``$REPRO_JOBS``, else 1.
+
+    ``jobs`` may be a positive integer or ``"auto"`` (all CPUs); any other
+    value — including ``0`` and negatives — raises
+    :class:`~repro.common.errors.ConfigurationError` naming whether the
+    bad value came from the argument or the environment.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        return _parse_jobs(raw, source=f"{JOBS_ENV}={raw!r}")
+    return _parse_jobs(jobs, source=f"--jobs {jobs!r}")
 
 
 # --- task specs --------------------------------------------------------------
@@ -116,7 +159,7 @@ def task_key(task: SimTask) -> str:
 
 def run_tasks(
     tasks: Sequence[SimTask],
-    jobs: Optional[int] = None,
+    jobs: Optional[Union[int, str]] = None,
     cache: object = "default",
 ) -> List[RunResult]:
     """Run ``tasks``, returning results in task order.

@@ -24,8 +24,9 @@ import hashlib
 import os
 import pickle
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.common.config import MachineConfig, config_fingerprint
 from repro.core.machine import Job, RunResult, default_event_wheel, default_fast_forward
@@ -121,6 +122,27 @@ def simulation_key(
 # --- the cache itself --------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class CacheEntry:
+    """One on-disk cache file, as seen by ``entries``/``prune``."""
+
+    key: str
+    path: Path
+    size_bytes: int
+    mtime: float
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Aggregate cache shape for ``repro cache stats``."""
+
+    directory: Path
+    entries: int
+    total_bytes: int
+    hits: int
+    misses: int
+
+
 class ResultCache:
     """A directory of pickled :class:`RunResult` objects keyed by hash."""
 
@@ -176,6 +198,74 @@ class ResultCache:
                 except OSError:
                     pass
             return False
+
+    def entries(self) -> List["CacheEntry"]:
+        """Every cached entry (key, size, mtime), oldest first.
+
+        Unreadable entries (racing deletes, permission holes) are skipped;
+        like :meth:`get`, inspection never raises.
+        """
+        found: List[CacheEntry] = []
+        try:
+            paths: Iterable[Path] = self.directory.glob("*.pkl")
+        except OSError:
+            return found
+        for path in paths:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            found.append(
+                CacheEntry(
+                    key=path.stem,
+                    path=path,
+                    size_bytes=stat.st_size,
+                    mtime=stat.st_mtime,
+                )
+            )
+        found.sort(key=lambda entry: (entry.mtime, entry.key))
+        return found
+
+    def stats(self) -> "CacheStats":
+        """Aggregate entry count / byte total for ``repro cache stats``."""
+        entries = self.entries()
+        return CacheStats(
+            directory=self.directory,
+            entries=len(entries),
+            total_bytes=sum(entry.size_bytes for entry in entries),
+            hits=self.hits,
+            misses=self.misses,
+        )
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+    ) -> int:
+        """Evict oldest entries until both bounds hold; returns count removed.
+
+        Eviction is strictly oldest-first (by mtime), so the newest
+        results — the ones the service's dedup layer is most likely to
+        coalesce against — always survive.  With no bounds given this is
+        a no-op.
+        """
+        entries = self.entries()
+        total = sum(entry.size_bytes for entry in entries)
+        count = len(entries)
+        removed = 0
+        for entry in entries:  # oldest first
+            over_bytes = max_bytes is not None and total > max_bytes
+            over_count = max_entries is not None and count > max_entries
+            if not over_bytes and not over_count:
+                break
+            try:
+                entry.path.unlink()
+            except OSError:
+                continue
+            total -= entry.size_bytes
+            count -= 1
+            removed += 1
+        return removed
 
     def clear(self) -> int:
         """Delete every cached entry; returns the number removed."""

@@ -25,13 +25,31 @@ Commands
     fast-forward x loop-replay x event-wheel) under every sharing mode,
     full run fingerprints diffed against the seed interpreter.  Diverging
     cases are shrunk to minimal repros and emitted as regression tests.
+``serve``
+    Run the simulation daemon: a long-lived asyncio service owning a
+    supervised worker pool, admitting jobs over a local socket with
+    explicit backpressure and a pluggable scheduling policy
+    (fifo / spjf / fair).  See ``docs/service.md``.
+``submit KIND ...``
+    Submit one job to a running daemon and stream its progress events;
+    prints the served result summary (cycle counts + fingerprint
+    digests).  Identical concurrent submissions coalesce server-side to
+    a single execution.
+``svc-status``
+    Query a running daemon (queue depth, workers, counters); ``--drain``
+    quiesces it, ``--shutdown`` stops it.
+``cache``
+    Inspect and bound the persistent result cache: ``stats``, ``prune``
+    (``--max-bytes`` / ``--max-entries``, evicting oldest first) and
+    ``clear``.
 
 Simulation commands accept these runtime options:
 
 ``--jobs N``
-    Fan simulations across ``N`` worker processes (``0`` = all CPUs;
+    Fan simulations across ``N`` worker processes (``auto`` = all CPUs;
     default ``$REPRO_JOBS``, else serial).  Results are bit-identical to
-    a serial run.
+    a serial run.  Zero, negative or non-integer values are rejected
+    with a ``ConfigurationError``.
 ``--cache-dir DIR``
     Persistent result-cache location (default ``$REPRO_CACHE_DIR``, else
     ``~/.cache/repro``); warm re-runs of a figure skip simulation.
@@ -283,6 +301,178 @@ def _cmd_diff_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import ServerOptions, SimulationServer
+
+    options = ServerOptions(
+        address=args.socket,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_per_client=args.max_per_client,
+        scheduler=args.sched,
+        job_timeout=args.job_timeout if args.job_timeout > 0 else None,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
+        recycle_after=args.recycle_after if args.recycle_after > 0 else None,
+    )
+    server = SimulationServer(options)
+    print(
+        f"repro daemon: serving on {server.address} "
+        f"({options.workers} worker(s), sched={options.scheduler}, "
+        f"queue depth {options.queue_depth})",
+        flush=True,
+    )
+    try:
+        server.run()
+    except KeyboardInterrupt:
+        pass
+    print("repro daemon: stopped")
+    return 0
+
+
+def _print_submit_event(event: dict) -> None:
+    kind = event.get("event")
+    if kind == "queued":
+        note = []
+        if event.get("coalesced"):
+            note.append("coalesced onto in-flight job")
+        if event.get("cached"):
+            note.append("served from result cache")
+        suffix = f" ({', '.join(note)})" if note else ""
+        print(f"[{event.get('job')}] queued{suffix}")
+    elif kind == "started":
+        print(
+            f"[{event.get('job')}] started on worker {event.get('worker')} "
+            f"(attempt {event.get('attempt')})"
+        )
+    elif kind == "retrying":
+        print(
+            f"[{event.get('job')}] retrying after {event.get('reason')}: "
+            f"{event.get('error')}"
+        )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.common.errors import ServiceError
+    from repro.service.client import ServiceClient
+    from repro.service.specs import spec_for_motivate, spec_for_pair
+
+    if args.kind == "pair":
+        spec = spec_for_pair(
+            args.suite, args.mem, args.comp, policy=args.policy, scale=args.scale
+        )
+    else:
+        spec = spec_for_motivate(policy=args.policy, scale=args.scale)
+    on_event = None if args.json else _print_submit_event
+    try:
+        with ServiceClient(args.socket, timeout=args.timeout) as client:
+            final = client.submit(
+                spec,
+                client=args.client,
+                wait=not args.no_wait,
+                on_event=on_event,
+                timeout=args.timeout,
+                raise_on_failure=False,
+            )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(final, indent=2, sort_keys=True))
+        return 0 if final.get("event") != "failed" else 1
+    if final.get("event") == "failed":
+        print(f"[{final.get('job')}] FAILED: {final.get('error')}", file=sys.stderr)
+        return 1
+    if args.no_wait:
+        return 0
+    result = final.get("result") or {}
+    print(
+        f"[{final.get('job')}] done: policy={result.get('policy')} "
+        f"total_cycles={result.get('total_cycles')} "
+        f"core_cycles={result.get('core_cycles')}"
+        + (" [cached]" if final.get("cached") else "")
+    )
+    for section, digest in sorted((result.get("fingerprint") or {}).items()):
+        print(f"  {section:<20} {digest[:16]}")
+    return 0
+
+
+def _cmd_svc_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.common.errors import ServiceError
+    from repro.service.client import ServiceClient
+
+    try:
+        with ServiceClient(args.socket, timeout=args.timeout) as client:
+            if args.drain:
+                reply = client.drain(timeout=args.timeout)
+                print(f"drained {reply.get('drained', 0)} pending job(s)")
+            status = client.status()
+            if args.shutdown:
+                client.shutdown()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        queue = status.get("queue", {})
+        workers = status.get("workers", {})
+        counters = status.get("counters", {})
+        print(
+            f"daemon pid {status.get('pid')} up {status.get('uptime_s')}s "
+            f"at {status.get('address')} "
+            f"(sched={status.get('scheduler')}, "
+            f"draining={status.get('draining')})"
+        )
+        print(
+            f"queue: {queue.get('depth')}/{queue.get('max_depth')} queued, "
+            f"workers {workers.get('busy')}/{workers.get('size')} busy "
+            f"(pids {workers.get('pids')}, {workers.get('recycled')} recycled)"
+        )
+        print(
+            "counters: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+        )
+    if args.shutdown:
+        print("shutdown requested")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.analysis.result_cache import ResultCache
+
+    cache = ResultCache(args.inspect_cache_dir)
+    if args.cache_op == "stats":
+        stats = cache.stats()
+        print(f"cache directory : {stats.directory}")
+        print(f"entries         : {stats.entries}")
+        print(f"total bytes     : {stats.total_bytes}")
+        if args.verbose:
+            for entry in cache.entries():
+                print(f"  {entry.key[:16]}  {entry.size_bytes:>10}  {entry.mtime:.0f}")
+    elif args.cache_op == "prune":
+        if args.max_bytes is None and args.max_entries is None:
+            print(
+                "error: prune needs --max-bytes and/or --max-entries",
+                file=sys.stderr,
+            )
+            return 2
+        removed = cache.prune(max_bytes=args.max_bytes, max_entries=args.max_entries)
+        stats = cache.stats()
+        print(
+            f"pruned {removed} entr{'y' if removed == 1 else 'ies'}; "
+            f"{stats.entries} left ({stats.total_bytes} bytes)"
+        )
+    elif args.cache_op == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -294,10 +484,11 @@ def build_parser() -> argparse.ArgumentParser:
     runtime = argparse.ArgumentParser(add_help=False)
     runtime.add_argument(
         "--jobs",
-        type=int,
+        type=str,
         default=None,
         metavar="N",
-        help="worker processes (0 = all CPUs; default $REPRO_JOBS, else serial)",
+        help="worker processes ('auto' = all CPUs; default $REPRO_JOBS, "
+        "else serial; non-positive values are rejected)",
     )
     runtime.add_argument(
         "--cache-dir",
@@ -421,6 +612,134 @@ def build_parser() -> argparse.ArgumentParser:
         "(default tests/regressions)",
     )
     diff_fuzz.set_defaults(func=_cmd_diff_fuzz)
+
+    # --- simulation service ---------------------------------------------------
+
+    svc_common = argparse.ArgumentParser(add_help=False)
+    svc_common.add_argument(
+        "--socket", default=None, metavar="ADDR",
+        help="daemon address: a Unix socket path or tcp:HOST:PORT "
+        "(default $REPRO_SERVICE_SOCKET, else <cache-dir>/service.sock)",
+    )
+    svc_common.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S",
+        help="client-side response timeout in seconds (default 600)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the simulation daemon (async job service)"
+    )
+    serve.add_argument(
+        "--socket", default=None, metavar="ADDR",
+        help="listen address: Unix socket path or tcp:HOST:PORT",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker processes in the pool (default 2)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=64, metavar="N",
+        help="max queued jobs before submissions are rejected (default 64)",
+    )
+    serve.add_argument(
+        "--max-per-client", type=int, default=16, metavar="N",
+        help="max queued+running jobs per client (default 16)",
+    )
+    serve.add_argument(
+        "--sched", choices=("fifo", "spjf", "fair"), default="fifo",
+        help="scheduling policy: arrival order, shortest-predicted-job-"
+        "first (cached cycle counts), or per-client fair share",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=300.0, metavar="S",
+        help="per-job wall-clock deadline in seconds; 0 disables "
+        "(default 300)",
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retries after a worker crash or timeout (default 2)",
+    )
+    serve.add_argument(
+        "--retry-backoff", type=float, default=0.25, metavar="S",
+        help="base retry backoff, doubled per attempt (default 0.25s)",
+    )
+    serve.add_argument(
+        "--recycle-after", type=int, default=64, metavar="N",
+        help="recycle a worker after N jobs; 0 disables (default 64)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent result-cache directory for dedup/coalescing",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent result cache (disables dedup)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a job to a running daemon and stream its result",
+    )
+    submit_sub = submit.add_subparsers(dest="kind", required=True)
+    submit_pair = submit_sub.add_parser(
+        "pair", help="a Table 3 co-run pair", parents=[svc_common]
+    )
+    submit_pair.add_argument("suite", choices=("spec", "opencv"))
+    submit_pair.add_argument("mem", type=int)
+    submit_pair.add_argument("comp", type=int)
+    submit_motivate = submit_sub.add_parser(
+        "motivate", help="the §2 motivating pair", parents=[svc_common]
+    )
+    for sp, default_scale in ((submit_pair, 0.35), (submit_motivate, 0.5)):
+        sp.add_argument(
+            "--policy", choices=sorted(POLICY_KEYS + ("cts",)), default="occamy"
+        )
+        sp.add_argument("--scale", type=float, default=default_scale)
+        sp.add_argument("--client", default="cli", help="client name for "
+                        "fair-share scheduling and per-client quotas")
+        sp.add_argument("--no-wait", action="store_true",
+                        help="return after the queued acknowledgement")
+        sp.add_argument("--json", action="store_true",
+                        help="print the final event as JSON")
+        sp.set_defaults(func=_cmd_submit)
+
+    svc_status = sub.add_parser(
+        "svc-status",
+        help="query (and optionally drain/stop) a running daemon",
+        parents=[svc_common],
+    )
+    svc_status.add_argument(
+        "--drain", action="store_true",
+        help="stop admitting work and wait for in-flight jobs to finish",
+    )
+    svc_status.add_argument(
+        "--shutdown", action="store_true",
+        help="stop the daemon after reporting status",
+    )
+    svc_status.add_argument("--json", action="store_true")
+    svc_status.set_defaults(func=_cmd_svc_status)
+
+    cache = sub.add_parser(
+        "cache", help="inspect / prune the persistent result cache"
+    )
+    # dest differs from the runtime --cache-dir so main() never pins the
+    # process-wide default cache for a pure inspection command
+    cache.add_argument(
+        "--cache-dir", dest="inspect_cache_dir", default=None, metavar="DIR",
+        help="cache directory (default $REPRO_CACHE_DIR, else ~/.cache/repro)",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_op", required=True)
+    cache_stats = cache_sub.add_parser("stats", help="entry count and bytes")
+    cache_stats.add_argument("--verbose", action="store_true",
+                             help="also list individual entries")
+    cache_prune = cache_sub.add_parser(
+        "prune", help="evict oldest entries until within bounds"
+    )
+    cache_prune.add_argument("--max-bytes", type=int, default=None, metavar="N")
+    cache_prune.add_argument("--max-entries", type=int, default=None, metavar="N")
+    cache_sub.add_parser("clear", help="delete every cached entry")
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 
@@ -436,9 +755,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.analysis import result_cache
 
         result_cache.configure(
-            cache_dir=args.cache_dir, disabled=args.no_cache
+            cache_dir=getattr(args, "cache_dir", None),
+            disabled=getattr(args, "no_cache", False),
         )
-    code = args.func(args)
+    from repro.common.errors import ConfigurationError
+
+    try:
+        code = args.func(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if getattr(args, "profile", False):
         from repro.core.replay import GLOBAL_PROFILE
 

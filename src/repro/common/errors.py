@@ -44,3 +44,32 @@ class InvariantViolation(SimulationError):
     Raised only when auditing is enabled (``REPRO_AUDIT`` / ``--audit``);
     see :mod:`repro.validation.invariants`.
     """
+
+
+class ServiceError(ReproError):
+    """Base class for simulation-service (daemon/client) errors."""
+
+
+class AdmissionError(ServiceError):
+    """A job submission was rejected by admission control.
+
+    Carries the machine-readable rejection ``reason`` (``queue-full``,
+    ``client-quota``, ``draining``) so clients can distinguish transient
+    backpressure (retry later) from permanent rejection.
+    """
+
+    def __init__(self, message: str, reason: str = "rejected") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class JobFailedError(ServiceError):
+    """A submitted job ran but terminated unsuccessfully."""
+
+
+class ServiceProtocolError(ServiceError):
+    """A malformed request or response crossed the service socket."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """The simulation daemon could not be reached."""

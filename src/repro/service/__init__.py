@@ -1,0 +1,56 @@
+"""Simulation service: a long-lived daemon serving simulation traffic.
+
+Everything before this package was a one-shot process: each ``repro``
+invocation paid interpreter startup, workload synthesis and cold cache
+probes, and two concurrent callers could silently run the same
+simulation twice.  The service turns the toolkit into the first layer
+whose job is *serving traffic*: a daemon owns a bounded worker pool and
+arbitrates many queued simulation requests onto it — the same shape as
+the paper's §5 problem of arbitrating one scarce co-processor across
+competing cores, and solved the same way, with an explicit, swappable
+policy.
+
+Modules
+-------
+
+:mod:`~repro.service.protocol`
+    Line-delimited JSON framing plus the JSON-safe result summary
+    (fingerprint digests) shared by server, client and tests.
+:mod:`~repro.service.specs`
+    The wire-level job description and its translation to a picklable
+    :class:`~repro.analysis.parallel.SimTask`.
+:mod:`~repro.service.queue`
+    Priority queue with admission control (bounded depth, per-client
+    quota, explicit backpressure) and pluggable scheduling policies
+    (``fifo`` / ``spjf`` / ``fair``).
+:mod:`~repro.service.workers`
+    Supervised worker-process pool: per-job timeouts, crash detection,
+    worker recycling.
+:mod:`~repro.service.server`
+    The asyncio daemon: socket endpoints, streaming job events, retry
+    orchestration, drain/shutdown.
+:mod:`~repro.service.client`
+    Blocking stdlib-socket client used by the CLI and tests.
+"""
+
+from repro.service.client import ServiceClient, wait_for_server
+from repro.service.queue import SCHEDULER_NAMES, CostModel, JobQueue
+from repro.service.protocol import default_address, summarize_result
+from repro.service.server import ServerOptions, SimulationServer
+from repro.service.specs import build_task, normalize_spec
+from repro.service.workers import WorkerPool
+
+__all__ = [
+    "CostModel",
+    "JobQueue",
+    "SCHEDULER_NAMES",
+    "ServerOptions",
+    "ServiceClient",
+    "SimulationServer",
+    "WorkerPool",
+    "build_task",
+    "default_address",
+    "normalize_spec",
+    "summarize_result",
+    "wait_for_server",
+]

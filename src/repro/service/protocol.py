@@ -1,0 +1,142 @@
+"""Wire protocol shared by the daemon, the client and the CLI.
+
+The service speaks **line-delimited JSON** over a local stream socket:
+every message is one JSON object terminated by ``"\\n"``.  Requests carry
+an ``op`` field; responses carry ``ok`` plus op-specific payload, and
+streaming responses (job progress) carry an ``event`` field.  The framing
+is deliberately trivial — any language (or ``nc``) can drive the daemon.
+
+Result payloads never ship a pickled :class:`~repro.core.machine.RunResult`
+across the socket.  Instead :func:`summarize_result` reduces a run to a
+JSON-safe summary whose core is a **fingerprint digest map**: one SHA-256
+per named section of :func:`repro.validation.fingerprint.fingerprint_sections`.
+Two runs are bit-identical exactly when their digest maps are equal, so a
+client can prove a daemon-served result matches a direct in-process
+``Machine.run`` without moving megabytes of metrics.  The full
+``RunResult`` still lands in the persistent result cache, where any local
+process can load it by ``key``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.common.errors import ServiceProtocolError
+
+#: Upper bound on one framed message; a line longer than this is a
+#: protocol violation (submissions and summaries are all far smaller).
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: Environment variable overriding the default daemon socket path.
+SOCKET_ENV = "REPRO_SERVICE_SOCKET"
+
+
+def default_address() -> str:
+    """``$REPRO_SERVICE_SOCKET``, else a per-user path under the cache dir.
+
+    Addresses are Unix-socket paths; a ``tcp:HOST:PORT`` string selects a
+    loopback TCP transport instead (for platforms without ``AF_UNIX``).
+    """
+    override = os.environ.get(SOCKET_ENV)
+    if override:
+        return override
+    from repro.analysis.result_cache import default_cache_dir
+
+    return str(default_cache_dir() / "service.sock")
+
+
+def is_tcp_address(address: str) -> bool:
+    return address.startswith("tcp:")
+
+
+def split_tcp_address(address: str) -> tuple:
+    """``tcp:HOST:PORT`` → ``(host, port)``."""
+    body = address[len("tcp:"):]
+    host, _, port = body.rpartition(":")
+    if not host or not port.isdigit():
+        raise ServiceProtocolError(
+            f"bad TCP address {address!r}; expected tcp:HOST:PORT"
+        )
+    return host, int(port)
+
+
+def encode_message(message: Dict[str, object]) -> bytes:
+    """One protocol frame: compact JSON plus the line terminator."""
+    return json.dumps(message, separators=(",", ":"), sort_keys=True).encode(
+        "utf-8"
+    ) + b"\n"
+
+
+def decode_line(line: bytes) -> Dict[str, object]:
+    """Parse one received frame; malformed input raises, never crashes."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ServiceProtocolError(
+            f"oversized frame ({len(line)} bytes > {MAX_LINE_BYTES})"
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise ServiceProtocolError(
+            f"frame must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+# --- result summaries ---------------------------------------------------------
+
+
+def fingerprint_digests(result) -> Dict[str, str]:
+    """SHA-256 per named fingerprint section of ``result``.
+
+    Section values are the hashable tuples produced by
+    :func:`~repro.validation.fingerprint.fingerprint_sections`; their
+    ``repr`` is deterministic across processes, so equal digests mean
+    bit-identical observable state.
+    """
+    from repro.validation.fingerprint import fingerprint_sections
+
+    digests = {}
+    for section, value in fingerprint_sections(result).items():
+        digests[section] = hashlib.sha256(repr(value).encode("utf-8")).hexdigest()
+    return digests
+
+
+def summarize_result(result, key: Optional[str] = None) -> Dict[str, object]:
+    """The JSON-safe summary of one run served over the socket."""
+    return {
+        "policy": result.policy_key,
+        "total_cycles": result.total_cycles,
+        "core_cycles": list(result.core_cycles),
+        "key": key,
+        "fingerprint": fingerprint_digests(result),
+    }
+
+
+def load_cached_result(key: str):
+    """Fetch the full :class:`RunResult` behind a served summary's ``key``.
+
+    Returns ``None`` when the persistent cache is disabled or the entry
+    has been evicted.
+    """
+    from repro.analysis import result_cache
+
+    cache = result_cache.default_cache()
+    if cache is None or key is None:
+        return None
+    return cache.get(key)
+
+
+def cleanup_socket(address: str) -> None:
+    """Best-effort removal of a stale Unix socket file."""
+    if is_tcp_address(address):
+        return
+    try:
+        Path(address).unlink()
+    except OSError:
+        pass

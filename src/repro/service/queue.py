@@ -1,0 +1,375 @@
+"""Job queue: admission control plus pluggable scheduling policies.
+
+This is the service-level analogue of the co-processor's ``LaneMgr``:
+many clients compete for a bounded pool of workers, and *which job runs
+next* is an explicit, swappable policy rather than an accident of arrival
+order — mirroring how the paper makes lane arbitration a first-class
+mechanism (§5) and how co-run allocation-policy work (Navarro et al.)
+treats thread-to-core mapping as a pluggable family.
+
+Admission control is strict and explicit:
+
+* **bounded depth** — beyond ``max_depth`` queued jobs the submit is
+  rejected with a ``queue-full`` :class:`AdmissionError` (the server turns
+  this into a backpressure response; nothing buffers without bound);
+* **per-client quota** — one client cannot occupy more than
+  ``max_per_client`` queued+running slots (``client-quota`` rejection),
+  so a chatty client cannot starve the rest regardless of scheduler.
+
+Schedulers (``SCHEDULERS``):
+
+``fifo``
+    Arrival order (lowest sequence number).
+``spjf``
+    Shortest-predicted-job-first: predicted cost is the cycle count the
+    :class:`CostModel` has recorded for previous runs of the same spec
+    signature; unpredicted jobs fall back to FIFO *behind* predicted ones
+    only when a prediction exists — unknown-cost jobs rank by arrival with
+    an infinite estimate, so a fresh spec cannot be starved forever
+    because ``not_before`` retry fences still age out and FIFO order
+    breaks ties.
+``fair``
+    Fair-share round-robin across clients: the client with the fewest
+    scheduled jobs this session goes first; FIFO within a client.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.common.errors import AdmissionError, ConfigurationError
+
+#: Default bound on queued (not yet running) jobs.
+DEFAULT_MAX_DEPTH = 64
+
+#: Default bound on one client's queued+running jobs.
+DEFAULT_MAX_PER_CLIENT = 16
+
+
+@dataclass
+class QueuedJob:
+    """One admitted, not-yet-dispatched job."""
+
+    job_id: str
+    key: str
+    signature: str
+    client: str
+    seq: int
+    task: object = None
+    #: Monotonic time before which the scheduler must not pick this job
+    #: (retry backoff fence; 0 = immediately eligible).
+    not_before: float = 0.0
+    #: Predicted cost in simulated cycles (None = no observation yet).
+    predicted_cycles: Optional[float] = None
+
+
+# --- cost model ---------------------------------------------------------------
+
+
+class CostModel:
+    """Cycle-count observations keyed by spec signature.
+
+    Backs the ``spjf`` scheduler: every completed job reports its
+    ``total_cycles`` and later submissions of the same signature are
+    predicted at the exponential moving average of those observations.
+    Optionally persisted (atomically, best-effort) as JSON next to the
+    result cache so predictions survive daemon restarts.
+    """
+
+    #: EMA smoothing: new observation weight.
+    ALPHA = 0.5
+
+    def __init__(self, path: Optional[os.PathLike] = None) -> None:
+        self.path = Path(path) if path else None
+        self._costs: Dict[str, float] = {}
+        self._loaded = False
+
+    def load(self) -> None:
+        """Read persisted observations; any unreadable file is ignored."""
+        self._loaded = True
+        if self.path is None:
+            return
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return
+        if isinstance(data, dict):
+            self._costs.update(
+                {
+                    str(sig): float(cost)
+                    for sig, cost in data.items()
+                    if isinstance(cost, (int, float))
+                }
+            )
+
+    def save(self) -> bool:
+        """Persist observations atomically; returns False on any failure."""
+        if self.path is None:
+            return False
+        tmp_name = None
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.path.parent, prefix=".costs-", suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self._costs, handle)
+            os.replace(tmp_name, self.path)
+            return True
+        except OSError:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            return False
+
+    def observe(self, signature: str, cycles: float) -> None:
+        if not self._loaded:
+            self.load()
+        previous = self._costs.get(signature)
+        if previous is None:
+            self._costs[signature] = float(cycles)
+        else:
+            self._costs[signature] = (
+                self.ALPHA * float(cycles) + (1.0 - self.ALPHA) * previous
+            )
+
+    def predict(self, signature: str) -> Optional[float]:
+        if not self._loaded:
+            self.load()
+        return self._costs.get(signature)
+
+    def __len__(self) -> int:
+        if not self._loaded:
+            self.load()
+        return len(self._costs)
+
+
+# --- scheduling policies ------------------------------------------------------
+
+
+class Scheduler:
+    """Picks the next job to dispatch from the eligible set."""
+
+    name = "base"
+
+    def select(self, eligible: List[QueuedJob]) -> QueuedJob:
+        raise NotImplementedError
+
+    def on_scheduled(self, job: QueuedJob) -> None:
+        """Hook: called when ``job`` is handed to a worker."""
+
+
+class FifoScheduler(Scheduler):
+    """Strict arrival order."""
+
+    name = "fifo"
+
+    def select(self, eligible: List[QueuedJob]) -> QueuedJob:
+        return min(eligible, key=lambda job: job.seq)
+
+
+class ShortestPredictedScheduler(Scheduler):
+    """Shortest-predicted-job-first, FIFO among unknown-cost jobs.
+
+    Known-cost jobs rank by predicted simulated cycles; jobs with no
+    observation rank behind all predicted ones (infinite estimate) in
+    arrival order.  Ties always break by sequence number so the order is
+    deterministic.
+    """
+
+    name = "spjf"
+
+    def select(self, eligible: List[QueuedJob]) -> QueuedJob:
+        return min(
+            eligible,
+            key=lambda job: (
+                job.predicted_cycles
+                if job.predicted_cycles is not None
+                else float("inf"),
+                job.seq,
+            ),
+        )
+
+
+class FairShareScheduler(Scheduler):
+    """Round-robin across clients, FIFO within a client.
+
+    The client with the fewest jobs scheduled so far goes first; sequence
+    numbers break ties, so with a single client this degrades to FIFO.
+    """
+
+    name = "fair"
+
+    def __init__(self) -> None:
+        self._served: Dict[str, int] = {}
+
+    def select(self, eligible: List[QueuedJob]) -> QueuedJob:
+        return min(
+            eligible,
+            key=lambda job: (self._served.get(job.client, 0), job.seq),
+        )
+
+    def on_scheduled(self, job: QueuedJob) -> None:
+        self._served[job.client] = self._served.get(job.client, 0) + 1
+
+
+SCHEDULERS = {
+    FifoScheduler.name: FifoScheduler,
+    ShortestPredictedScheduler.name: ShortestPredictedScheduler,
+    FairShareScheduler.name: FairShareScheduler,
+}
+
+SCHEDULER_NAMES = tuple(sorted(SCHEDULERS))
+
+
+def make_scheduler(name: str) -> Scheduler:
+    try:
+        factory = SCHEDULERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheduling policy {name!r}; choose from {SCHEDULER_NAMES}"
+        ) from None
+    return factory()
+
+
+# --- the queue ----------------------------------------------------------------
+
+
+@dataclass
+class QueueStats:
+    depth: int
+    max_depth: int
+    per_client: Dict[str, int] = field(default_factory=dict)
+    admitted: int = 0
+    rejected_full: int = 0
+    rejected_quota: int = 0
+
+
+class JobQueue:
+    """Bounded, policy-scheduled job queue with explicit backpressure.
+
+    ``running_counts`` (per-client in-flight jobs) is supplied by the
+    server on submit so the per-client quota covers queued *and* running
+    work; the queue itself only tracks queued jobs.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        max_per_client: int = DEFAULT_MAX_PER_CLIENT,
+        scheduler: str = "fifo",
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        if max_depth <= 0:
+            raise ConfigurationError(f"max_depth must be positive, got {max_depth}")
+        if max_per_client <= 0:
+            raise ConfigurationError(
+                f"max_per_client must be positive, got {max_per_client}"
+            )
+        self.max_depth = max_depth
+        self.max_per_client = max_per_client
+        self.scheduler = (
+            scheduler if isinstance(scheduler, Scheduler) else make_scheduler(scheduler)
+        )
+        self.cost_model = cost_model or CostModel()
+        self._jobs: List[QueuedJob] = []
+        self._seq = 0
+        self.stats = QueueStats(depth=0, max_depth=max_depth)
+
+    # -- admission -------------------------------------------------------------
+
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def submit(
+        self,
+        job: QueuedJob,
+        running_for_client: int = 0,
+    ) -> None:
+        """Admit ``job`` or raise :class:`AdmissionError` (backpressure).
+
+        ``running_for_client`` is the submitting client's current
+        in-flight (dispatched, unfinished) job count.
+        """
+        if len(self._jobs) >= self.max_depth:
+            self.stats.rejected_full += 1
+            raise AdmissionError(
+                f"queue full ({len(self._jobs)}/{self.max_depth} jobs queued); "
+                f"retry after a job completes",
+                reason="queue-full",
+            )
+        queued_for_client = sum(1 for j in self._jobs if j.client == job.client)
+        if queued_for_client + running_for_client >= self.max_per_client:
+            self.stats.rejected_quota += 1
+            raise AdmissionError(
+                f"client {job.client!r} at quota "
+                f"({queued_for_client} queued + {running_for_client} running "
+                f">= {self.max_per_client})",
+                reason="client-quota",
+            )
+        if job.predicted_cycles is None:
+            job.predicted_cycles = self.cost_model.predict(job.signature)
+        self._jobs.append(job)
+        self.stats.admitted += 1
+        self.stats.depth = len(self._jobs)
+
+    def requeue(self, job: QueuedJob, not_before: float = 0.0) -> None:
+        """Put a previously-popped job back (retry path).
+
+        Bypasses admission control: the job was already admitted once and
+        retries are bounded by the server's ``max_retries``, so requeueing
+        can never grow the queue without bound.
+        """
+        job.not_before = not_before
+        self._jobs.append(job)
+        self.stats.depth = len(self._jobs)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def pop_next(self, now: float) -> Optional[QueuedJob]:
+        """Remove and return the next job to run, or ``None`` if none is
+        eligible (empty queue or all jobs fenced behind retry backoff)."""
+        eligible = [job for job in self._jobs if job.not_before <= now]
+        if not eligible:
+            return None
+        job = self.scheduler.select(eligible)
+        self._jobs.remove(job)
+        self.scheduler.on_scheduled(job)
+        self.stats.depth = len(self._jobs)
+        return job
+
+    def remove(self, job_id: str) -> Optional[QueuedJob]:
+        """Remove a queued job by id (cancellation); None if not queued."""
+        for job in self._jobs:
+            if job.job_id == job_id:
+                self._jobs.remove(job)
+                self.stats.depth = len(self._jobs)
+                return job
+        return None
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """JSON-safe view of the queued jobs in arrival order."""
+        return [
+            {
+                "job": job.job_id,
+                "client": job.client,
+                "seq": job.seq,
+                "predicted_cycles": job.predicted_cycles,
+                "not_before": job.not_before or None,
+            }
+            for job in sorted(self._jobs, key=lambda j: j.seq)
+        ]

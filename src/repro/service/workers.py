@@ -1,0 +1,323 @@
+"""Supervised worker-process pool for the simulation daemon.
+
+Unlike the sweep engine's fire-and-forget ``ProcessPoolExecutor``, the
+service needs to *supervise* its workers: bind each dispatched job to a
+specific process so a hung job can be killed on timeout, detect crashed
+workers and surface the loss as a retryable event, and recycle workers
+after N jobs so slow leaks in long-lived processes cannot accumulate.
+
+Design:
+
+* each worker is one ``multiprocessing.Process`` with a **private** task
+  queue and a **private** result queue — killing a worker mid-write can
+  only corrupt its own queues, which are discarded on respawn;
+* the pool is polled (:meth:`WorkerPool.poll`), never blocked on: the
+  asyncio server calls ``poll()`` from its pump loop and receives plain
+  :class:`PoolEvent` records (``done`` / ``error`` / ``crashed`` /
+  ``timeout``).  Retry policy lives in the server, which owns the queue;
+* results are drained *before* liveness/timeout checks, so a job that
+  finished in the same poll window as its deadline is reported as done,
+  never spuriously killed;
+* the default job runner resolves the persistent result cache around
+  :func:`repro.analysis.parallel.execute_task` — a worker that finishes a
+  job has already landed the full ``RunResult`` in the cache, so results
+  survive client disconnects and daemon restarts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.common.errors import ConfigurationError
+
+#: Default: recycle a worker after this many completed jobs.
+DEFAULT_RECYCLE_AFTER = 64
+
+
+def run_cached_task(task) -> object:
+    """Default worker runner: result-cache-wrapped ``execute_task``.
+
+    Mirrors the sweep engine's cache discipline so daemon-served results
+    are interchangeable with ``--jobs`` sweep results: same key, same
+    payload, same cache directory.
+    """
+    from repro.analysis import parallel, result_cache
+
+    cache = result_cache.default_cache()
+    key = parallel.task_key(task) if cache is not None else None
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    result = parallel.execute_task(task)
+    if cache is not None:
+        cache.put(key, result)
+    return result
+
+
+def _worker_main(task_q, result_q, runner, recycle_after) -> None:
+    """Worker process loop: run jobs until recycled or told to stop."""
+    done = 0
+    while True:
+        item = task_q.get()
+        if item is None:
+            break
+        job_id, payload = item
+        try:
+            result = runner(payload)
+            result_q.put((job_id, "ok", result))
+        except BaseException as exc:  # noqa: BLE001 — report, don't die
+            result_q.put((job_id, "error", f"{type(exc).__name__}: {exc}"))
+        done += 1
+        if recycle_after is not None and done >= recycle_after:
+            result_q.put((None, "recycled", None))
+            break
+
+
+@dataclass
+class PoolEvent:
+    """One supervision event surfaced by :meth:`WorkerPool.poll`.
+
+    ``kind`` is ``"done"`` (with ``result``), ``"error"`` (runner raised;
+    deterministic, not retried), ``"crashed"`` (worker died mid-job) or
+    ``"timeout"`` (job exceeded its deadline and the worker was killed).
+    """
+
+    kind: str
+    job_id: str
+    worker_pid: Optional[int] = None
+    result: object = None
+    error: Optional[str] = None
+
+
+class _Worker:
+    """Supervisor-side handle for one worker process."""
+
+    def __init__(self, context, runner, recycle_after) -> None:
+        self._context = context
+        self._runner = runner
+        self._recycle_after = recycle_after
+        self.job_id: Optional[str] = None
+        self.dispatched_at: Optional[float] = None
+        self._spawn()
+
+    def _spawn(self) -> None:
+        self.task_q = self._context.Queue()
+        self.result_q = self._context.Queue()
+        self.proc = self._context.Process(
+            target=_worker_main,
+            args=(self.task_q, self.result_q, self._runner, self._recycle_after),
+            daemon=True,
+        )
+        self.proc.start()
+        self.job_id = None
+        self.dispatched_at = None
+
+    def respawn(self) -> None:
+        """Discard the dead/killed process and its (possibly corrupt)
+        queues, and start a fresh worker."""
+        self._discard()
+        self._spawn()
+
+    def _discard(self) -> None:
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=5.0)
+            if self.proc.is_alive():  # pragma: no cover - last resort
+                self.proc.kill()
+                self.proc.join(timeout=5.0)
+        for queue in (self.task_q, self.result_q):
+            try:
+                queue.close()
+                queue.cancel_join_thread()
+            except (OSError, AttributeError):  # pragma: no cover
+                pass
+
+    def stop(self) -> None:
+        """Graceful stop: sentinel, short join, then terminate."""
+        if self.proc.is_alive():
+            try:
+                self.task_q.put_nowait(None)
+            except (OSError, ValueError):  # pragma: no cover - full/closed
+                pass
+            self.proc.join(timeout=1.0)
+        self._discard()
+
+
+class WorkerPool:
+    """A fixed-size set of supervised worker processes.
+
+    ``runner`` is the module-level callable a worker applies to each
+    dispatched payload (default :func:`run_cached_task`); tests inject
+    slow/crashing runners through it.  ``job_timeout`` is the per-job
+    wall-clock deadline enforced by :meth:`poll`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        runner: Callable = run_cached_task,
+        job_timeout: Optional[float] = 300.0,
+        recycle_after: Optional[int] = DEFAULT_RECYCLE_AFTER,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if workers <= 0:
+            raise ConfigurationError(f"workers must be positive, got {workers}")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ConfigurationError(
+                f"job_timeout must be positive or None, got {job_timeout}"
+            )
+        if recycle_after is not None and recycle_after <= 0:
+            raise ConfigurationError(
+                f"recycle_after must be positive or None, got {recycle_after}"
+            )
+        self.size = workers
+        self.runner = runner
+        self.job_timeout = job_timeout
+        self.recycle_after = recycle_after
+        if mp_context is None:
+            # fork keeps runners injectable (tests) and inherits the
+            # configured cache; fall back where fork is unavailable.
+            mp_context = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        self._context = multiprocessing.get_context(mp_context)
+        self._workers: List[_Worker] = []
+        self.recycled = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._workers:
+            return
+        self._workers = [
+            _Worker(self._context, self.runner, self.recycle_after)
+            for _ in range(self.size)
+        ]
+
+    def stop(self) -> None:
+        """Stop every worker (graceful sentinel, then terminate)."""
+        for worker in self._workers:
+            worker.stop()
+        self._workers = []
+
+    def worker_pids(self) -> List[int]:
+        return [w.proc.pid for w in self._workers if w.proc.pid is not None]
+
+    # -- dispatch --------------------------------------------------------------
+
+    def idle_count(self) -> int:
+        return sum(1 for w in self._workers if w.job_id is None and w.proc.is_alive())
+
+    def busy_count(self) -> int:
+        return sum(1 for w in self._workers if w.job_id is not None)
+
+    def dispatch(self, job_id: str, payload) -> int:
+        """Hand ``payload`` to an idle worker; returns the worker's pid.
+
+        Callers must check :meth:`idle_count` first; dispatching with no
+        idle worker raises ``RuntimeError`` (a server bug, not load).
+        """
+        for worker in self._workers:
+            if worker.job_id is None and worker.proc.is_alive():
+                worker.job_id = job_id
+                worker.dispatched_at = time.monotonic()
+                worker.task_q.put((job_id, payload))
+                return worker.proc.pid
+        raise RuntimeError("dispatch with no idle worker")
+
+    def pid_for_job(self, job_id: str) -> Optional[int]:
+        for worker in self._workers:
+            if worker.job_id == job_id:
+                return worker.proc.pid
+        return None
+
+    # -- supervision -----------------------------------------------------------
+
+    def poll(self, now: Optional[float] = None) -> List[PoolEvent]:
+        """Drain results and enforce liveness/timeouts; never blocks.
+
+        Order matters: each worker's result queue is drained *before* its
+        liveness and deadline checks, so a completed job is never
+        misreported as crashed or timed out.
+        """
+        if now is None:
+            now = time.monotonic()
+        events: List[PoolEvent] = []
+        for worker in self._workers:
+            pid = worker.proc.pid
+            # 1. drain finished work
+            while True:
+                try:
+                    if worker.result_q.empty():
+                        break
+                    job_id, tag, payload = worker.result_q.get_nowait()
+                except (OSError, EOFError, ValueError):  # pragma: no cover
+                    break
+                except Exception:  # pragma: no cover - queue race
+                    break
+                if tag == "recycled":
+                    self.recycled += 1
+                    continue
+                if job_id == worker.job_id:
+                    worker.job_id = None
+                    worker.dispatched_at = None
+                if tag == "ok":
+                    events.append(
+                        PoolEvent("done", job_id, worker_pid=pid, result=payload)
+                    )
+                else:
+                    events.append(
+                        PoolEvent("error", job_id, worker_pid=pid, error=payload)
+                    )
+            # 2. liveness: a dead worker holding a job crashed mid-job
+            if not worker.proc.is_alive():
+                if worker.job_id is not None:
+                    events.append(
+                        PoolEvent(
+                            "crashed",
+                            worker.job_id,
+                            worker_pid=pid,
+                            error=f"worker pid {pid} exited "
+                            f"(code {worker.proc.exitcode}) mid-job",
+                        )
+                    )
+                worker.respawn()
+                continue
+            # 3. deadline enforcement
+            if (
+                worker.job_id is not None
+                and self.job_timeout is not None
+                and worker.dispatched_at is not None
+                and now - worker.dispatched_at > self.job_timeout
+            ):
+                job_id = worker.job_id
+                events.append(
+                    PoolEvent(
+                        "timeout",
+                        job_id,
+                        worker_pid=pid,
+                        error=f"job exceeded {self.job_timeout:.1f}s deadline; "
+                        f"worker pid {pid} killed",
+                    )
+                )
+                worker.respawn()
+        return events
+
+    def kill_worker(self, pid: int) -> bool:
+        """Forcibly kill one worker by pid (tests / admin).
+
+        The next :meth:`poll` observes the death, reports any bound job
+        as ``crashed`` and respawns the worker.
+        """
+        for worker in self._workers:
+            if worker.proc.pid == pid:
+                try:
+                    os.kill(pid, 9)
+                except OSError:  # pragma: no cover
+                    pass
+                worker.proc.join(timeout=5.0)
+                return True
+        return False

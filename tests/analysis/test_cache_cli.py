@@ -1,0 +1,120 @@
+"""The ``repro cache`` subcommand and the prune/stats cache API."""
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.result_cache import ResultCache
+from repro.cli import main
+
+
+def _fill(cache: ResultCache, count: int, size: int = 100):
+    """Write ``count`` raw entries with strictly increasing mtimes."""
+    cache.directory.mkdir(parents=True, exist_ok=True)
+    keys = []
+    base = time.time() - count * 10
+    for index in range(count):
+        key = f"{index:02d}" + "ab" * 10
+        path = cache.path_for(key)
+        path.write_bytes(b"x" * size)
+        stamp = base + index * 10
+        os.utime(path, (stamp, stamp))
+        keys.append(key)
+    return keys
+
+
+# --- API ----------------------------------------------------------------------
+
+
+def test_stats_counts_entries_and_bytes(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    _fill(cache, 3, size=50)
+    stats = cache.stats()
+    assert stats.entries == 3
+    assert stats.total_bytes == 150
+    assert stats.directory == cache.directory
+
+
+def test_entries_sorted_oldest_first(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    keys = _fill(cache, 4)
+    assert [entry.key for entry in cache.entries()] == keys
+
+
+def test_prune_by_entries_keeps_newest(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    keys = _fill(cache, 5)
+    removed = cache.prune(max_entries=2)
+    assert removed == 3
+    survivors = sorted(entry.key for entry in cache.entries())
+    assert survivors == sorted(keys[-2:])  # the two newest
+
+
+def test_prune_by_size_keeps_newest(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    keys = _fill(cache, 4, size=100)
+    removed = cache.prune(max_bytes=250)
+    assert removed == 2
+    survivors = {entry.key for entry in cache.entries()}
+    assert survivors == set(keys[-2:])
+    assert cache.stats().total_bytes == 200
+
+
+def test_prune_without_bounds_is_noop(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    _fill(cache, 3)
+    assert cache.prune() == 0
+    assert cache.stats().entries == 3
+
+
+def test_prune_missing_directory_is_safe(tmp_path):
+    cache = ResultCache(tmp_path / "never-created")
+    assert cache.prune(max_entries=1) == 0
+    assert cache.stats().entries == 0
+
+
+# --- CLI ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    directory = tmp_path / "cli-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(directory))
+    return directory
+
+
+def test_cli_cache_stats(cache_dir, capsys):
+    _fill(ResultCache(cache_dir), 2, size=80)
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "entries         : 2" in out
+    assert "total bytes     : 160" in out
+
+
+def test_cli_cache_prune(cache_dir, capsys):
+    cache = ResultCache(cache_dir)
+    keys = _fill(cache, 4)
+    assert main(["cache", "prune", "--max-entries", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "pruned 3 entries" in out
+    assert [entry.key for entry in cache.entries()] == [keys[-1]]
+
+
+def test_cli_cache_prune_requires_a_bound(cache_dir, capsys):
+    assert main(["cache", "prune"]) == 2
+    assert "max-bytes" in capsys.readouterr().err
+
+
+def test_cli_cache_clear(cache_dir, capsys):
+    _fill(ResultCache(cache_dir), 3)
+    assert main(["cache", "clear"]) == 0
+    assert "cleared 3 entries" in capsys.readouterr().out
+    assert ResultCache(cache_dir).stats().entries == 0
+
+
+def test_cli_cache_explicit_dir_flag(tmp_path, capsys):
+    directory = tmp_path / "explicit"
+    _fill(ResultCache(directory), 1)
+    assert main(["cache", "--cache-dir", str(directory), "stats"]) == 0
+    assert "entries         : 1" in capsys.readouterr().out

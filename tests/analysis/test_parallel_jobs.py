@@ -1,0 +1,94 @@
+"""Strict worker-count validation in ``analysis.parallel.resolve_jobs``."""
+
+import pytest
+
+from repro.analysis.parallel import JOBS_ENV, resolve_jobs
+from repro.common.errors import ConfigurationError
+
+
+# --- argument (--jobs) path ---------------------------------------------------
+
+
+def test_explicit_positive_integer():
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(1) == 1
+
+
+def test_numeric_strings_accepted():
+    # the CLI hands --jobs through as a string
+    assert resolve_jobs("4") == 4
+    assert resolve_jobs(" 2 ") == 2
+
+
+def test_auto_means_all_cpus():
+    import os
+
+    assert resolve_jobs("auto") == (os.cpu_count() or 1)
+    assert resolve_jobs("AUTO") == (os.cpu_count() or 1)
+
+
+@pytest.mark.parametrize("bad", [0, -1, -100, "0", "-3"])
+def test_non_positive_flag_rejected(bad):
+    with pytest.raises(ConfigurationError, match="not positive"):
+        resolve_jobs(bad)
+
+
+@pytest.mark.parametrize("bad", ["abc", "2.5", "", " ", "1e3"])
+def test_non_integer_flag_string_rejected(bad):
+    with pytest.raises(ConfigurationError, match="neither a positive integer"):
+        resolve_jobs(bad)
+
+
+@pytest.mark.parametrize("bad", [2.5, True, [4]])
+def test_non_integer_flag_object_rejected(bad):
+    with pytest.raises(ConfigurationError, match="expected a positive integer"):
+        resolve_jobs(bad)
+
+
+def test_flag_error_names_the_flag():
+    with pytest.raises(ConfigurationError, match="--jobs"):
+        resolve_jobs(-1)
+
+
+# --- environment (REPRO_JOBS) path --------------------------------------------
+
+
+def test_env_default_is_serial(monkeypatch):
+    monkeypatch.delenv(JOBS_ENV, raising=False)
+    assert resolve_jobs() == 1
+
+
+def test_env_positive_integer(monkeypatch):
+    monkeypatch.setenv(JOBS_ENV, "5")
+    assert resolve_jobs() == 5
+
+
+def test_env_auto(monkeypatch):
+    import os
+
+    monkeypatch.setenv(JOBS_ENV, "auto")
+    assert resolve_jobs() == (os.cpu_count() or 1)
+
+
+@pytest.mark.parametrize("bad", ["0", "-2", "abc", "2.5"])
+def test_env_garbage_rejected_and_named(monkeypatch, bad):
+    monkeypatch.setenv(JOBS_ENV, bad)
+    with pytest.raises(ConfigurationError, match=JOBS_ENV):
+        resolve_jobs()
+
+
+def test_explicit_argument_wins_over_bad_env(monkeypatch):
+    # an explicit good argument must not even look at a bad environment
+    monkeypatch.setenv(JOBS_ENV, "garbage")
+    assert resolve_jobs(2) == 2
+
+
+def test_cli_surfaces_configuration_error(capsys, monkeypatch):
+    """End to end: a bad --jobs exits 2 with a clear message, no traceback."""
+    monkeypatch.delenv(JOBS_ENV, raising=False)
+    from repro.cli import main
+
+    code = main(["motivate", "--scale", "0.05", "--jobs", "-1"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "not positive" in captured.err

@@ -1,0 +1,59 @@
+"""Service test harness: a daemon in a background thread + sync clients."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.client import ServiceClient, wait_for_server
+from repro.service.server import ServerOptions, SimulationServer
+
+
+class RunningServer:
+    """Handle to one live daemon started by the ``service_server`` factory."""
+
+    def __init__(self, server: SimulationServer, thread: threading.Thread) -> None:
+        self.server = server
+        self.thread = thread
+        self.address = server.address
+
+    def client(self, timeout: float = 60.0) -> ServiceClient:
+        return ServiceClient(self.address, timeout=timeout)
+
+    def stop(self, join_timeout: float = 15.0) -> None:
+        self.server.stop_threadsafe()
+        self.thread.join(timeout=join_timeout)
+        # belt-and-braces: never leak worker processes past a test
+        self.server.pool.stop()
+
+
+@pytest.fixture
+def service_server(tmp_path, monkeypatch):
+    """Factory fixture: ``service_server(**ServerOptions fields)``.
+
+    Each started daemon gets a fresh result-cache directory and a Unix
+    socket under ``tmp_path``; every daemon is stopped (and its workers
+    killed) at teardown even when the test fails.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    started = []
+    counter = [0]
+
+    def start(**options) -> RunningServer:
+        counter[0] += 1
+        options.setdefault("address", str(tmp_path / f"svc{counter[0]}.sock"))
+        options.setdefault("workers", 1)
+        options.setdefault("poll_interval", 0.01)
+        options.setdefault("retry_backoff", 0.05)
+        server = SimulationServer(ServerOptions(**options))
+        thread = threading.Thread(target=server.run, daemon=True)
+        thread.start()
+        wait_for_server(server.address, deadline_s=15.0)
+        handle = RunningServer(server, thread)
+        started.append(handle)
+        return handle
+
+    yield start
+    for handle in started:
+        handle.stop()

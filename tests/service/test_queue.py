@@ -1,0 +1,140 @@
+"""Admission control, scheduling policies and the cost model."""
+
+import pytest
+
+from repro.common.errors import AdmissionError, ConfigurationError
+from repro.service.queue import CostModel, JobQueue, QueuedJob, make_scheduler
+
+
+def _job(queue, job_id, client="c", signature=None, predicted=None):
+    job = QueuedJob(
+        job_id=job_id,
+        key=f"key-{job_id}",
+        signature=signature or f"sig-{job_id}",
+        client=client,
+        seq=queue.next_seq(),
+        predicted_cycles=predicted,
+    )
+    return job
+
+
+# --- admission ----------------------------------------------------------------
+
+
+def test_bounded_depth_rejects_with_queue_full():
+    queue = JobQueue(max_depth=2, max_per_client=10)
+    queue.submit(_job(queue, "a"))
+    queue.submit(_job(queue, "b"))
+    with pytest.raises(AdmissionError) as excinfo:
+        queue.submit(_job(queue, "c"))
+    assert excinfo.value.reason == "queue-full"
+    assert queue.stats.rejected_full == 1
+    assert len(queue) == 2
+
+
+def test_per_client_quota_covers_running_jobs():
+    queue = JobQueue(max_depth=10, max_per_client=2)
+    queue.submit(_job(queue, "a", client="alice"))
+    # alice: 1 queued + 1 running == quota -> rejected
+    with pytest.raises(AdmissionError) as excinfo:
+        queue.submit(_job(queue, "b", client="alice"), running_for_client=1)
+    assert excinfo.value.reason == "client-quota"
+    # other clients are unaffected
+    queue.submit(_job(queue, "c", client="bob"), running_for_client=1)
+
+
+def test_requeue_bypasses_admission():
+    queue = JobQueue(max_depth=1)
+    job = _job(queue, "a")
+    queue.submit(job)
+    popped = queue.pop_next(0.0)
+    queue.submit(_job(queue, "b"))  # queue full again
+    queue.requeue(popped, not_before=0.0)  # retry path must not raise
+    assert len(queue) == 2
+
+
+def test_retry_fence_defers_eligibility():
+    queue = JobQueue()
+    job = _job(queue, "a")
+    queue.submit(job)
+    popped = queue.pop_next(0.0)
+    queue.requeue(popped, not_before=100.0)
+    assert queue.pop_next(99.0) is None
+    assert queue.pop_next(100.0).job_id == "a"
+
+
+def test_bad_configuration_rejected():
+    with pytest.raises(ConfigurationError):
+        JobQueue(max_depth=0)
+    with pytest.raises(ConfigurationError):
+        JobQueue(max_per_client=-1)
+    with pytest.raises(ConfigurationError):
+        make_scheduler("round-robin-ish")
+
+
+# --- scheduling policies ------------------------------------------------------
+
+
+def test_fifo_orders_by_arrival():
+    queue = JobQueue(scheduler="fifo")
+    for name in ("a", "b", "c"):
+        queue.submit(_job(queue, name))
+    assert [queue.pop_next(0.0).job_id for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_spjf_prefers_cheapest_predicted_job():
+    cost = CostModel()
+    cost.observe("sig-cheap", 100)
+    cost.observe("sig-dear", 100_000)
+    queue = JobQueue(scheduler="spjf", cost_model=cost)
+    queue.submit(_job(queue, "dear", signature="sig-dear"))
+    queue.submit(_job(queue, "unknown", signature="sig-new"))
+    queue.submit(_job(queue, "cheap", signature="sig-cheap"))
+    order = [queue.pop_next(0.0).job_id for _ in range(3)]
+    # known costs first (cheapest leading), unknown-cost jobs last in FIFO order
+    assert order == ["cheap", "dear", "unknown"]
+
+
+def test_fair_share_round_robins_across_clients():
+    queue = JobQueue(scheduler="fair")
+    for i in range(3):
+        queue.submit(_job(queue, f"a{i}", client="alice"))
+    queue.submit(_job(queue, "b0", client="bob"))
+    queue.submit(_job(queue, "b1", client="bob"))
+    order = [queue.pop_next(0.0).job_id for _ in range(5)]
+    # alice went first (earliest seq), then alternation: no client runs
+    # twice while the other still has an eligible job and fewer grants.
+    assert order == ["a0", "b0", "a1", "b1", "a2"]
+
+
+def test_fair_share_single_client_degrades_to_fifo():
+    queue = JobQueue(scheduler="fair")
+    for name in ("x", "y", "z"):
+        queue.submit(_job(queue, name))
+    assert [queue.pop_next(0.0).job_id for _ in range(3)] == ["x", "y", "z"]
+
+
+# --- cost model ---------------------------------------------------------------
+
+
+def test_cost_model_ema_and_persistence(tmp_path):
+    path = tmp_path / "costs.json"
+    model = CostModel(path)
+    model.observe("sig", 100)
+    assert model.predict("sig") == 100
+    model.observe("sig", 200)
+    assert model.predict("sig") == pytest.approx(150.0)
+    assert model.save()
+
+    fresh = CostModel(path)
+    assert fresh.predict("sig") == pytest.approx(150.0)
+    assert fresh.predict("other") is None
+
+
+def test_cost_model_tolerates_corrupt_file(tmp_path):
+    path = tmp_path / "costs.json"
+    path.write_text("{not json", encoding="utf-8")
+    model = CostModel(path)
+    assert model.predict("sig") is None
+    model.observe("sig", 10)
+    assert model.save()

@@ -1,0 +1,70 @@
+"""Spec validation and SimTask materialisation."""
+
+import pytest
+
+from repro.common.errors import ServiceProtocolError
+from repro.service.specs import (
+    build_task,
+    normalize_spec,
+    spec_for_motivate,
+    spec_for_pair,
+    task_signature,
+)
+
+
+def test_pair_spec_roundtrip():
+    spec = spec_for_pair("spec", 20, 17, policy="fts", scale=0.25)
+    task = build_task(spec)
+    assert task.kind == "pair"
+    assert task.policy_key == "fts"
+    assert task.scale == 0.25
+    assert (task.pair.suite, task.pair.core0, task.pair.core1) == ("spec", 20, 17)
+
+
+def test_motivate_spec_defaults():
+    spec = spec_for_motivate()
+    assert spec["policy"] == "occamy"
+    assert spec["scale"] == 0.5
+    task = build_task(spec)
+    assert task.kind == "motivate"
+    assert task.config.num_cores == 2
+
+
+def test_group_spec_uses_four_cores():
+    spec = normalize_spec({"kind": "group", "group": [0, 1, 2, 3]})
+    assert spec["cores"] == 4
+    task = build_task(spec)
+    assert task.kind == "group"
+    assert task.config.num_cores == 4
+    assert task.group == (0, 1, 2, 3)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"kind": "nope"},
+        {"kind": "pair", "suite": "spec", "mem": 20},  # missing comp
+        {"kind": "pair", "suite": "bogus", "mem": 1, "comp": 2},
+        {"kind": "pair", "suite": "spec", "mem": 20, "comp": 17, "policy": "zzz"},
+        {"kind": "motivate", "scale": 0.0},
+        {"kind": "motivate", "scale": 2.0},
+        {"kind": "motivate", "max_cycles": -5},
+        {"kind": "motivate", "typo_field": 1},
+        {"kind": "group", "group": []},
+        {"kind": "group", "group": ["a"]},
+        "not-a-dict",
+    ],
+)
+def test_malformed_specs_rejected(bad):
+    with pytest.raises(ServiceProtocolError):
+        normalize_spec(bad)
+
+
+def test_signature_is_stable_and_canonical():
+    a = task_signature({"kind": "pair", "suite": "spec", "mem": 20, "comp": 17})
+    b = task_signature(
+        {"comp": 17, "mem": 20, "suite": "spec", "kind": "pair", "scale": 0.35}
+    )
+    assert a == b
+    c = task_signature({"kind": "pair", "suite": "spec", "mem": 20, "comp": 18})
+    assert a != c
