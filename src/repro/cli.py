@@ -21,8 +21,9 @@ Commands
     Run a slice of the evaluation and write a Markdown report.
 ``diff-fuzz``
     Cross-engine differential fuzzing: random co-run programs executed
-    through every fast-path combination (sixteen engines: pre-decode x
-    fast-forward x loop-replay x event-wheel) under every sharing mode,
+    through every fast-path combination (thirty-two engines: pre-decode x
+    fast-forward x loop-replay x event-wheel x batch-exec) under every
+    sharing mode,
     full run fingerprints diffed against the seed interpreter.  Diverging
     cases are shrunk to minimal repros and emitted as regression tests.
 ``serve``

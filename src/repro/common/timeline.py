@@ -31,6 +31,23 @@ class BucketSeries:
         self._sums[index] += value
         self._counts[index] += 1
 
+    def add_bulk(self, cycle: int, total: float, samples: int) -> None:
+        """Record ``samples`` observations at ``cycle`` summing to ``total``.
+
+        Bit-equivalent to ``samples`` same-cycle :meth:`add` calls whenever
+        ``total`` equals their exact floating-point sum — the batch-execute
+        backend's accounting primitive (its callers guarantee exactness by
+        summing dyadic values).
+        """
+        if samples <= 0:
+            return
+        index = cycle // self.bucket_cycles
+        while len(self._sums) <= index:
+            self._sums.append(0.0)
+            self._counts.append(0)
+        self._sums[index] += total
+        self._counts[index] += samples
+
     def add_range(self, start_cycle: int, end_cycle: int, value: float) -> None:
         """Record ``value`` once per cycle over ``[start_cycle, end_cycle)``.
 

@@ -1,0 +1,271 @@
+"""Batch-execute backend: opcode-grouped dispatch and commit kernels.
+
+The reference engine dispatches one lane-operation at a time: an age-order
+Python loop that, per entry, re-checks budgets, renaming, the store queue,
+then issues and books metrics individually.  This backend restructures each
+cycle into two passes:
+
+1. **Plan** — a side-effect-free walk of the ready candidates that mirrors
+   the reference scan's decision sequence exactly (issue budgets, renamer
+   availability and the STQ occupancy are tracked as local shadow counters;
+   each is provably decremented by exactly one per accepted entry, so the
+   shadow stays equal to the state the reference loop would observe).  The
+   walk groups accepted entries by opcode class: short-latency computes,
+   long-latency computes, and memory ops (kept in strict age order — they
+   touch the shared MOB/bandwidth state).
+2. **Apply** — each group executes as one bulk operation: a single batched
+   register allocation, one tight loop stamping the group's common
+   completion cycle, and one aggregated metrics update per group instead of
+   one per uop.
+
+**Scalar fallback.**  The plan/apply split is only valid when nothing an
+accepted entry does can change a *later* planning decision within the same
+scan.  Three situations break that and fall back to the reference per-entry
+loop for the whole core-cycle (counted, and attributed in ``--profile``):
+
+* a **zero-byte memory access** — the only zero-latency completion in the
+  machine; it can wake a younger dependant mid-scan, which the reference
+  loop observes by rebuilding its candidate list;
+* a **sub-cycle compute latency** (``compute_latency < 1``), which would
+  open the same mid-scan wake for computes;
+* an active **loop-replay recorder**, whose template wants the per-entry
+  ``on_dispatch``/``on_commit`` event stream in reference order.
+
+The backend is bit-identical to the reference interpreter across every
+sharing mode and engine combination — the differential fuzzer diffs all 32
+engine variants — and is kill-switched by ``REPRO_NO_BATCH_EXEC``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.coproc.dynamic import DynamicInstruction, EntryKind, EntryState
+from repro.coproc.metrics import StallReason
+
+
+@dataclass
+class BatchPlan:
+    """One core-cycle's planned dispatch, grouped by opcode class."""
+
+    short_compute: List[DynamicInstruction] = field(default_factory=list)
+    long_compute: List[DynamicInstruction] = field(default_factory=list)
+    #: Memory ops in scan (age) order — MOB and bandwidth-regulator state
+    #: is order-sensitive, so these never reorder within the group.
+    memory: List[DynamicInstruction] = field(default_factory=list)
+    allocations: int = 0
+    rename_failed: bool = False
+    blocked: Optional[StallReason] = None
+    #: A planned entry turned out irregular (zero-byte memory access):
+    #: discard the plan untouched and rerun through the reference loop.
+    irregular: bool = False
+
+    @property
+    def dispatched(self) -> int:
+        return len(self.short_compute) + len(self.long_compute) + len(self.memory)
+
+
+class BatchExecutor:
+    """Opcode-grouped dispatch/commit engine bolted onto a co-processor."""
+
+    def __init__(self, coproc) -> None:
+        # Imported here: coprocessor.py imports this module at its top, so a
+        # module-level import back would hit a half-initialised module.
+        from repro.coproc.coprocessor import COMMIT_WIDTH, LONG_LATENCY
+
+        self.coproc = coproc
+        self._commit_width = COMMIT_WIDTH
+        self._long_latency = LONG_LATENCY
+        self._short_latency = coproc.config.vector.compute_latency
+        # A compute must never complete within its own dispatch cycle — the
+        # planner relies on that to rule out mid-scan wakes from computes.
+        self._latency_safe = coproc.config.vector.compute_latency >= 1
+        #: Attribution counters surfaced through ``--profile``.
+        self.batched_calls = 0
+        self.scalar_calls = 0
+        self.batched_uops = 0
+        self.fallback_reasons: Dict[str, int] = {}
+
+    # --- dispatch ----------------------------------------------------------
+
+    def dispatch_core(self, core: int, budget: Dict[str, int], cycle: int) -> int:
+        """Batched replacement for ``CoProcessor._dispatch_core``."""
+        coproc = self.coproc
+        pool = coproc.pools[core]
+        if pool.empty:
+            if coproc.core_active[core]:
+                coproc.metrics.on_stall(core, StallReason.EMPTY, cycle)
+            return 0
+        if coproc.recorder is not None:
+            return self._fallback(core, budget, cycle, "recorder")
+        if not self._latency_safe:
+            return self._fallback(core, budget, cycle, "sub-cycle-latency")
+        scan = pool.ready_dispatchable(cycle)
+        plan = self._plan(core, scan, budget, cycle)
+        if plan.irregular:
+            return self._fallback(core, budget, cycle, "zero-byte-access")
+        self.batched_calls += 1
+        dispatched = self._apply(core, pool, plan, budget, cycle)
+        if dispatched == 0:
+            coproc._attribute_indexed_stall(
+                core, pool, scan, budget, plan.blocked, cycle
+            )
+            return 0
+        self.batched_uops += dispatched
+        return dispatched
+
+    def _fallback(
+        self, core: int, budget: Dict[str, int], cycle: int, reason: str
+    ) -> int:
+        self.scalar_calls += 1
+        self.fallback_reasons[reason] = self.fallback_reasons.get(reason, 0) + 1
+        return self.coproc._dispatch_core(core, budget, cycle)
+
+    def _plan(
+        self,
+        core: int,
+        scan: List[DynamicInstruction],
+        budget: Dict[str, int],
+        cycle: int,
+    ) -> BatchPlan:
+        """Mirror the reference scan's decisions without mutating anything.
+
+        The only engine state touched is the idempotent STQ retirement
+        inside :meth:`~repro.coproc.lsu.LoadStoreUnit.stq_occupancy`, which
+        the reference loop performs identically via ``store_queue_full``.
+        """
+        coproc = self.coproc
+        plan = BatchPlan()
+        compute_left = budget["compute"]
+        ldst_left = budget["ldst"]
+        avail = coproc.renamer.available(core)
+        lsu = coproc.lsus[core]
+        stq_used = lsu.stq_occupancy(cycle)
+        stq_cap = lsu.store_queue_entries
+        blocked: Optional[StallReason] = None
+        for entry in scan:
+            if compute_left <= 0 and ldst_left <= 0:
+                blocked = blocked or StallReason.ISSUE_BUDGET
+                break
+            # ``entry.ready(cycle)`` holds for every index candidate, and no
+            # plan decision can un-ready a later one (nothing completes
+            # mid-scan once the irregular cases are fenced off), so the
+            # reference loop's DEPENDENCY re-check is vacuous here.
+            kind = entry.kind
+            if kind is EntryKind.COMPUTE:
+                if compute_left <= 0:
+                    blocked = blocked or StallReason.ISSUE_BUDGET
+                    continue
+                if entry.writes_vreg:
+                    if avail <= 0:
+                        plan.rename_failed = True
+                        blocked = StallReason.RENAME
+                        break
+                    avail -= 1
+                    plan.allocations += 1
+                compute_left -= 1
+                if entry.long_latency:
+                    plan.long_compute.append(entry)
+                else:
+                    plan.short_compute.append(entry)
+            elif kind is EntryKind.LOAD or kind is EntryKind.STORE:
+                if ldst_left <= 0:
+                    blocked = blocked or StallReason.ISSUE_BUDGET
+                    continue
+                is_store = kind is EntryKind.STORE
+                if is_store and stq_used >= stq_cap:
+                    blocked = blocked or StallReason.STORE_QUEUE
+                    continue
+                if not is_store:
+                    if avail <= 0:
+                        plan.rename_failed = True
+                        blocked = StallReason.RENAME
+                        break
+                    avail -= 1
+                    plan.allocations += 1
+                if entry.nbytes <= 0:
+                    # Zero-byte access: completes within this very cycle and
+                    # can wake a younger dependant mid-scan.  Abandon the
+                    # plan (nothing was mutated) and take the scalar loop.
+                    plan.irregular = True
+                    return plan
+                if is_store:
+                    stq_used += 1
+                ldst_left -= 1
+                plan.memory.append(entry)
+            else:  # EM-SIMD entries never appear (the scan stops at them)
+                raise SimulationError("EM-SIMD instruction in dispatch scan")
+        plan.blocked = blocked
+        return plan
+
+    def _apply(
+        self,
+        core: int,
+        pool,
+        plan: BatchPlan,
+        budget: Dict[str, int],
+        cycle: int,
+    ) -> int:
+        """Execute the plan as bulk per-group operations.
+
+        Call order differs from the reference loop (all computes before all
+        memory ops), which is observationally equivalent: computes touch no
+        memory state; ``on_issue`` heap pops order by ``(wake, seq)``
+        regardless of push order and its pending-counter decrements
+        commute; every completion lands strictly after ``cycle`` (latency
+        >= 1 computes, non-zero-byte memory), so no mid-scan wake occurs.
+        """
+        coproc = self.coproc
+        metrics = coproc.metrics
+        if plan.allocations:
+            coproc.renamer.allocate_batch(core, plan.allocations)
+        if plan.rename_failed:
+            coproc.renamer.note_failed_allocation()
+        dispatched = plan.dispatched
+        if dispatched == 0:
+            return 0
+        for group, latency in (
+            (plan.short_compute, self._short_latency),
+            (plan.long_compute, self._long_latency),
+        ):
+            if not group:
+                continue
+            complete = cycle + latency
+            total_flops = 0
+            vls: List[int] = []
+            for entry in group:
+                entry.holds_phys_reg = entry.writes_vreg
+                entry.state = EntryState.ISSUED
+                entry.complete_cycle = complete
+                total_flops += entry.flops
+                vls.append(entry.vl_lanes)
+                pool.on_issue(entry, cycle)
+            metrics.on_compute_dispatch_batch(core, vls, total_flops, cycle)
+        if plan.memory:
+            lsu = coproc.lsus[core]
+            for entry in plan.memory:
+                is_store = entry.kind is EntryKind.STORE
+                entry.holds_phys_reg = not is_store
+                result = lsu.issue(entry.addr, entry.nbytes, cycle, is_store)
+                entry.state = EntryState.ISSUED
+                entry.complete_cycle = result.complete_cycle
+                pool.on_issue(entry, cycle)
+            metrics.on_ldst_dispatch_batch(core, len(plan.memory))
+        budget["compute"] -= len(plan.short_compute) + len(plan.long_compute)
+        budget["ldst"] -= len(plan.memory)
+        return dispatched
+
+    # --- commit ------------------------------------------------------------
+
+    def commit_core(self, core: int, cycle: int) -> int:
+        """Batched in-order commit: one prefix scan, one slice delete, one
+        bulk physical-register release.  Returns the entries committed."""
+        coproc = self.coproc
+        committed = coproc.pools[core].commit_ready_batched(cycle, self._commit_width)
+        if committed:
+            holders = sum(1 for entry in committed if entry.holds_phys_reg)
+            if holders:
+                coproc.renamer.release_batch(core, holders)
+        return len(committed)

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 
 from repro.common.config import MachineConfig
 from repro.common.errors import SimulationError
+from repro.coproc.batch_exec import BatchExecutor
 from repro.coproc.dynamic import DynamicInstruction, EntryKind, EntryState, InstructionPool
 from repro.coproc.lanes import LaneTable
 from repro.coproc.lsu import LoadStoreUnit
@@ -60,6 +61,7 @@ class CoProcessor:
         metrics: Metrics,
         lane_manager: "LaneManagerProtocol",
         indexed: bool = False,
+        batch_exec: bool = False,
     ) -> None:
         self.config = config
         self.mode = mode
@@ -79,12 +81,17 @@ class CoProcessor:
         ]
         #: When ``indexed`` (the event-wheel engine), dispatch consumes each
         #: pool's incrementally maintained ready set instead of re-scanning
-        #: the whole window every cycle.
-        self._indexed = indexed
+        #: the whole window every cycle.  The batch-execute backend plans
+        #: from the same ready set, so it forces the index on too.
+        self._indexed = indexed or batch_exec
         self.pools = [
-            InstructionPool(c, config.core.instruction_pool_entries, indexed=indexed)
+            InstructionPool(
+                c, config.core.instruction_pool_entries, indexed=self._indexed
+            )
             for c in range(num_cores)
         ]
+        #: Opcode-grouped dispatch/commit backend (``REPRO_NO_BATCH_EXEC``).
+        self._batch = BatchExecutor(self) if batch_exec else None
         self.core_active = [True] * num_cores
         self._seq = 0
         self._rotate = 0
@@ -200,13 +207,16 @@ class CoProcessor:
             if awake is not None and not awake[core]:
                 continue
             self.lsus[core].on_cycle(cycle)
-            committed = 0
-            for entry in self.pools[core].commit_ready(cycle, COMMIT_WIDTH):
-                if entry.holds_phys_reg:
-                    self.renamer.release(core)
-                if recorder is not None:
-                    recorder.on_commit(core, entry)
-                committed += 1
+            if self._batch is not None and recorder is None:
+                committed = self._batch.commit_core(core, cycle)
+            else:
+                committed = 0
+                for entry in self.pools[core].commit_ready(cycle, COMMIT_WIDTH):
+                    if entry.holds_phys_reg:
+                        self.renamer.release(core)
+                    if recorder is not None:
+                        recorder.on_commit(core, entry)
+                    committed += 1
             if core_events is not None:
                 core_events[core] += committed
             events += committed
@@ -336,7 +346,7 @@ class CoProcessor:
                         "compute": vector.compute_issue_width,
                         "ldst": vector.ldst_issue_width,
                     }
-                    issued = self._dispatch_core(core, budget, cycle)
+                    issued = self._dispatch_entrypoint(core, budget, cycle)
                     if core_events is not None:
                         core_events[core] += issued
                     dispatched += issued
@@ -362,11 +372,17 @@ class CoProcessor:
         for core in self._core_order():
             if awake is not None and not awake[core]:
                 continue
-            issued = self._dispatch_core(core, budgets[core], cycle)
+            issued = self._dispatch_entrypoint(core, budgets[core], cycle)
             if core_events is not None:
                 core_events[core] += issued
             dispatched += issued
         return dispatched
+
+    def _dispatch_entrypoint(self, core: int, budget: Dict[str, int], cycle: int) -> int:
+        """Route one core's dispatch through the batch backend when enabled."""
+        if self._batch is not None:
+            return self._batch.dispatch_core(core, budget, cycle)
+        return self._dispatch_core(core, budget, cycle)
 
     def _dispatch_core(
         self, core: int, budget: Dict[str, int], cycle: int, use_index: bool = True
@@ -449,31 +465,7 @@ class CoProcessor:
                 index = 0
         if dispatched == 0:
             if indexed:
-                # Reconstruct the reference scan's stall attribution (first
-                # blocked reason in age order over the whole window) from
-                # the index.  With zero dispatches the budgets never moved,
-                # so the reference loop's reason is anchored at the oldest
-                # dispatchable entry: a both-budgets-exhausted break there,
-                # DEPENDENCY if it is not ready, else the indexed scan's
-                # own first reason (the oldest dispatchable entry *is*
-                # ``scan[0]``, and both scans visit the same ready entries
-                # in the same order with the same budget state).  A RENAME
-                # failure overrides unconditionally in both scans at the
-                # same (first ready renaming) entry.
-                oldest = pool.oldest_waiting_seq()
-                if oldest is None:
-                    blocked = None
-                elif blocked is StallReason.RENAME:
-                    pass
-                elif budget["compute"] <= 0 and budget["ldst"] <= 0:
-                    blocked = StallReason.ISSUE_BUDGET
-                elif not scan or scan[0].seq != oldest:
-                    blocked = StallReason.DEPENDENCY
-                head = pool.head()
-                if head is not None and head.is_emsimd:
-                    self.metrics.on_stall(core, StallReason.RECONFIG, cycle)
-                elif blocked is not None:
-                    self.metrics.on_stall(core, blocked, cycle)
+                self._attribute_indexed_stall(core, pool, scan, budget, blocked, cycle)
                 return 0
             head = pool.head()
             if head is not None and head.is_emsimd:
@@ -483,6 +475,45 @@ class CoProcessor:
             elif any(e.state is EntryState.WAITING for e in pool.dispatchable()):
                 self.metrics.on_stall(core, StallReason.DEPENDENCY, cycle)
         return dispatched
+
+    def _attribute_indexed_stall(
+        self,
+        core: int,
+        pool: InstructionPool,
+        scan: List[DynamicInstruction],
+        budget: Dict[str, int],
+        blocked: Optional[StallReason],
+        cycle: int,
+    ) -> None:
+        """Zero-dispatch stall attribution from the ready index.
+
+        Reconstructs the reference scan's reason (first blocked reason in
+        age order over the whole window).  With zero dispatches the budgets
+        never moved, so the reference loop's reason is anchored at the
+        oldest dispatchable entry: a both-budgets-exhausted break there,
+        DEPENDENCY if it is not ready, else the indexed scan's own first
+        reason (the oldest dispatchable entry *is* ``scan[0]``, and both
+        scans visit the same ready entries in the same order with the same
+        budget state).  A RENAME failure overrides unconditionally in both
+        scans at the same (first ready renaming) entry.  Shared by the
+        indexed reference scan and the batch-execute planner — at zero
+        dispatches neither has mutated budgets or rebuilt ``scan``, so
+        their inputs here are identical.
+        """
+        oldest = pool.oldest_waiting_seq()
+        if oldest is None:
+            blocked = None
+        elif blocked is StallReason.RENAME:
+            pass
+        elif budget["compute"] <= 0 and budget["ldst"] <= 0:
+            blocked = StallReason.ISSUE_BUDGET
+        elif not scan or scan[0].seq != oldest:
+            blocked = StallReason.DEPENDENCY
+        head = pool.head()
+        if head is not None and head.is_emsimd:
+            self.metrics.on_stall(core, StallReason.RECONFIG, cycle)
+        elif blocked is not None:
+            self.metrics.on_stall(core, blocked, cycle)
 
 
 class LaneManagerProtocol:

@@ -198,6 +198,38 @@ class InstructionPool:
                     self._emsimd_seqs.popleft()
         return committed
 
+    def commit_ready_batched(self, cycle: float, width: int) -> List[DynamicInstruction]:
+        """Batched :meth:`commit_ready`: one prefix scan and a single slice
+        delete instead of up to ``width`` O(n) head pops.
+
+        The batch-execute backend's commit kernel — result and index
+        bookkeeping are identical to the per-entry loop (property-tested).
+        """
+        entries = self._entries
+        count = 0
+        limit = min(width, len(entries))
+        while count < limit:
+            head = entries[count]
+            if head.state is EntryState.WAITING or head.complete_cycle > cycle:
+                break
+            count += 1
+        if count == 0:
+            return []
+        committed = entries[:count]
+        del entries[:count]
+        self.committed += count
+        if self._indexed and not self._dirty:
+            for entry in committed:
+                self._by_seq.pop(entry.seq, None)
+                self._dep_waiters.pop(entry.seq, None)
+                if (
+                    entry.is_emsimd
+                    and self._emsimd_seqs
+                    and self._emsimd_seqs[0] == entry.seq
+                ):
+                    self._emsimd_seqs.popleft()
+        return committed
+
     # ------------------------------------------------------------------
     # Ready-set index (incremental dispatch candidates)
     # ------------------------------------------------------------------

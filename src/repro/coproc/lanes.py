@@ -86,7 +86,7 @@ class LaneTable:
         for index in released:
             self._lanes[index].owner = FREE
         if released:
-            self._free = sorted(self._free + released)
+            self._free = self._merge_sorted(self._free, released)
         if lanes > len(self._free):
             raise ProtocolError(
                 f"core {core} requested {lanes} lanes but only "
@@ -102,10 +102,54 @@ class LaneTable:
         if self.auditor is not None:
             self.auditor.on_lane_table(self)
 
+    @staticmethod
+    def _merge_sorted(left: List[int], right: List[int]) -> List[int]:
+        """Merge two ascending, disjoint index lists in O(len(left+right)).
+
+        Replaces the ``sorted(left + right)`` on every release — under CTS
+        the whole lane pool changes hands each quantum, so the merge is on
+        the reconfiguration hot path.
+        """
+        merged: List[int] = []
+        i = j = 0
+        nl, nr = len(left), len(right)
+        while i < nl and j < nr:
+            if left[i] < right[j]:
+                merged.append(left[i])
+                i += 1
+            else:
+                merged.append(right[j])
+                j += 1
+        merged.extend(left[i:])
+        merged.extend(right[j:])
+        return merged
+
+    def active_mask(self, core: int) -> List[bool]:
+        """Per-lane ownership mask for ``core`` (True = lane active)."""
+        mask = [False] * self.total_lanes
+        for index in self._owned.get(core, ()):
+            mask[index] = True
+        return mask
+
     def record_uops(self, core: int, uops: int) -> None:
         """Attribute ``uops`` executed micro-ops to each lane of ``core``."""
         for index in self._owned.get(core, ()):
             self._lanes[index].uops_executed += uops
+
+    def record_uops_batched(self, core: int, uops: int) -> None:
+        """Batched :meth:`record_uops`: one masked bulk update over all lanes.
+
+        The batch-execute backend's lane-attribution kernel.  Exactly
+        equivalent to the scalar per-lane loop — in particular it must not
+        touch lanes outside the core's current ownership mask, even right
+        after a mid-phase reclaim handed those lanes to another core.
+        """
+        owned = self._owned.get(core)
+        if not owned or uops == 0:
+            return
+        lanes = self._lanes
+        for index in owned:
+            lanes[index].uops_executed += uops
 
     def ownership_vector(self) -> Sequence[Optional[int]]:
         """Owner of each lane, by lane index (for tests/visualisation)."""

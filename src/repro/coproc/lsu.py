@@ -51,10 +51,21 @@ class LoadStoreUnit:
         #: issued access re-checks completion and STQ ordering.
         self.auditor = None
 
+    def stq_occupancy(self, cycle: float) -> int:
+        """Occupied STQ entries once completed stores have retired at ``cycle``.
+
+        The narrowed batch-dispatch interface: the batch planner reads the
+        occupancy once at the top of its scan and shadow-counts its own
+        planned stores, instead of re-asking :meth:`store_queue_full` per
+        entry the way the reference scan does.  Both observe the same
+        drained queue (retirement is idempotent within a cycle).
+        """
+        self._drain_stores(cycle)
+        return len(self._store_completions)
+
     def store_queue_full(self, cycle: float) -> bool:
         """True when a new store would have no STQ entry this cycle."""
-        self._drain_stores(cycle)
-        return len(self._store_completions) >= self.store_queue_entries
+        return self.stq_occupancy(cycle) >= self.store_queue_entries
 
     def _drain_stores(self, cycle: float) -> None:
         while self._store_completions and self._store_completions[0] <= cycle:

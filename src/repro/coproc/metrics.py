@@ -118,6 +118,48 @@ class Metrics:
         if phase is not None:
             phase.ldst_uops += 1
 
+    # --- batched dispatch accounting (batch-execute backend) ---------------
+
+    def on_compute_dispatch_batch(
+        self, core: int, vls: List[int], total_flops: int, cycle: int
+    ) -> None:
+        """Aggregated :meth:`on_compute_dispatch` for one opcode group.
+
+        Bit-exact relative to the per-entry calls: the uop/flop counters are
+        integer sums, ``busy_pipe_slots`` accumulates integers into a float
+        (exact below 2**53, order-independent), and each busy-lane sample is
+        ``vl / pipes_per_lane`` — a dyadic rational when ``pipes_per_lane``
+        is a power of two, so the bulk sum is exact too.  For a
+        non-power-of-two pipe count the division is inexact and summation
+        order would show, so fall back to per-entry series adds.
+        """
+        count = len(vls)
+        if count == 0:
+            return
+        total_vl = sum(vls)
+        self.compute_uops[core] += count
+        self.flops[core] += total_flops
+        self.busy_pipe_slots += total_vl
+        pipes = self.pipes_per_lane
+        series = self.busy_lanes_series[core]
+        if pipes & (pipes - 1) == 0:
+            series.add_bulk(cycle, total_vl / pipes, count)
+        else:
+            for vl in vls:
+                series.add(cycle, vl / pipes)
+        phase = self._open_phase[core]
+        if phase is not None:
+            phase.compute_uops += count
+
+    def on_ldst_dispatch_batch(self, core: int, count: int) -> None:
+        """Aggregated :meth:`on_ldst_dispatch` for one memory-op group."""
+        if count <= 0:
+            return
+        self.ldst_uops[core] += count
+        phase = self._open_phase[core]
+        if phase is not None:
+            phase.ldst_uops += count
+
     def on_stall(self, core: int, reason: StallReason, cycle: int) -> None:
         self.stalls[core][reason] += 1
         if self._idle_log is not None:

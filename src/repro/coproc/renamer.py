@@ -90,6 +90,35 @@ class Renamer:
             self.auditor.on_renamer(self)
         return True
 
+    def allocate_batch(self, core: int, count: int) -> None:
+        """Claim ``count`` physical registers at once (batch-execute backend).
+
+        Exactly equivalent to ``count`` successful :meth:`try_allocate`
+        calls; the batch planner must have proven availability against
+        :meth:`available` before applying its plan.
+        """
+        if count <= 0:
+            return
+        if self.available(core) < count:
+            raise ProtocolError(
+                f"batch allocation of {count} registers for core {core} "
+                f"exceeds availability {self.available(core)}"
+            )
+        self._free[self._slot(core)] -= count
+        self._held[core] += count
+        self.allocations += count
+        if self.auditor is not None:
+            self.auditor.on_renamer(self)
+
+    def note_failed_allocation(self) -> None:
+        """Record one renaming stall observed by the batch planner.
+
+        The planner never calls :meth:`try_allocate` (its walk is
+        side-effect free), so the failure counter the reference scan would
+        have bumped is settled here when the plan is applied.
+        """
+        self.failed_allocations += 1
+
     def release(self, core: int) -> None:
         """Return one physical register at commit of the in-flight write."""
         slot = self._slot(core)
@@ -97,6 +126,21 @@ class Renamer:
             raise ProtocolError("renamer freelist overflow (double release)")
         self._free[slot] += 1
         self._held[core] -= 1
+        if self.auditor is not None:
+            self.auditor.on_renamer(self)
+
+    def release_batch(self, core: int, count: int) -> None:
+        """Return ``count`` physical registers at once (batched commit).
+
+        Exactly equivalent to ``count`` :meth:`release` calls.
+        """
+        if count <= 0:
+            return
+        slot = self._slot(core)
+        if self._held[core] < count or self._free[slot] + count > self._capacity[slot]:
+            raise ProtocolError("renamer freelist overflow (double release)")
+        self._free[slot] += count
+        self._held[core] -= count
         if self.auditor is not None:
             self.auditor.on_renamer(self)
 

@@ -13,7 +13,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.common.config import MachineConfig
+from repro.common.config import MachineConfig, default_batch_exec
 from repro.common.errors import DeadlockError, SimulationError
 from repro.coproc.coprocessor import CoProcessor, SharingMode
 from repro.coproc.metrics import Metrics
@@ -101,6 +101,7 @@ class Machine:
         jobs: Sequence[Optional[Job]],
         audit: Optional[bool] = None,
         event_wheel: Optional[bool] = None,
+        batch_exec: Optional[bool] = None,
     ) -> None:
         if len(jobs) != config.num_cores:
             raise SimulationError(
@@ -125,12 +126,17 @@ class Machine:
         self._event_wheel = (
             default_event_wheel() if event_wheel is None else event_wheel
         )
+        #: Batch-execute backend switch (``REPRO_NO_BATCH_EXEC``).
+        self._batch_exec = (
+            default_batch_exec() if batch_exec is None else batch_exec
+        )
         self.coproc = CoProcessor(
             config,
             policy.mode,
             self.metrics,
             self.lane_manager,
             indexed=self._event_wheel,
+            batch_exec=self._batch_exec,
         )
         self._done: List[bool] = [job is None for job in jobs]
         # Per-component (core complex = scalar core + pool + LSU) sleep
@@ -295,6 +301,11 @@ class Machine:
         profile.component_busy = list(self._comp_busy)
         profile.component_idle = list(self._comp_idle)
         profile.component_asleep = list(self._comp_asleep)
+        batch = self.coproc._batch
+        if batch is not None:
+            profile.batched_dispatch_calls = batch.batched_calls
+            profile.scalar_dispatch_calls = batch.scalar_calls
+            profile.batched_uops = batch.batched_uops
         self.profile = profile
         GLOBAL_PROFILE.merge(profile)
         return RunResult(
@@ -602,8 +613,9 @@ def run_policy(
     fast_path: Optional[bool] = None,
     audit: Optional[bool] = None,
     event_wheel: Optional[bool] = None,
+    batch_exec: Optional[bool] = None,
 ) -> RunResult:
     """Convenience wrapper: build a machine and run it."""
-    return Machine(config, policy, jobs, audit=audit, event_wheel=event_wheel).run(
-        max_cycles=max_cycles, fast_forward=fast_forward, fast_path=fast_path
-    )
+    return Machine(
+        config, policy, jobs, audit=audit, event_wheel=event_wheel, batch_exec=batch_exec
+    ).run(max_cycles=max_cycles, fast_forward=fast_forward, fast_path=fast_path)

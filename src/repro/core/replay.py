@@ -118,6 +118,13 @@ class ReplayProfile:
     component_busy: List[int] = field(default_factory=list)
     component_idle: List[int] = field(default_factory=list)
     component_asleep: List[int] = field(default_factory=list)
+    #: Batch-execute backend attribution: per-core-cycle dispatch calls
+    #: handled by the opcode-grouped plan/apply path vs. routed through the
+    #: scalar per-entry fallback, and uops issued via groups.  All-zero
+    #: when the batch backend is off (``REPRO_NO_BATCH_EXEC``).
+    batched_dispatch_calls: int = 0
+    scalar_dispatch_calls: int = 0
+    batched_uops: int = 0
 
     def merge(self, other: "ReplayProfile") -> None:
         self.total_cycles += other.total_cycles
@@ -127,6 +134,9 @@ class ReplayProfile:
         self.replayed_periods += other.replayed_periods
         self.templates_built += other.templates_built
         self.replay_aborts += other.replay_aborts
+        self.batched_dispatch_calls += other.batched_dispatch_calls
+        self.scalar_dispatch_calls += other.scalar_dispatch_calls
+        self.batched_uops += other.batched_uops
         self.component_busy = _merge_padded(self.component_busy, other.component_busy)
         self.component_idle = _merge_padded(self.component_idle, other.component_idle)
         self.component_asleep = _merge_padded(
@@ -164,6 +174,17 @@ class ReplayProfile:
                     f"  core {core}   busy {busy:>12}  idle-stepped {idle:>12}"
                     f"  asleep {asleep:>12}"
                 )
+        if self.batched_dispatch_calls or self.scalar_dispatch_calls:
+            calls = max(1, self.batched_dispatch_calls + self.scalar_dispatch_calls)
+            share = 100.0 * self.batched_dispatch_calls / calls
+            lines.append("batch-execute backend (per-core dispatch calls):")
+            lines.append(
+                f"  batched             {self.batched_dispatch_calls:>12}  {share:5.1f}%"
+            )
+            lines.append(
+                f"  scalar fallback     {self.scalar_dispatch_calls:>12}"
+            )
+            lines.append(f"  uops in groups      {self.batched_uops:>12}")
         return "\n".join(lines)
 
 

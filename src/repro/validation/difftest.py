@@ -1,13 +1,15 @@
 """Cross-engine differential fuzzing (``python -m repro diff-fuzz``).
 
-The simulator can execute one program sixteen ways: the scalar cores run
-either the seed interpreter or the pre-decoded dispatch table
+The simulator can execute one program thirty-two ways: the scalar cores
+run either the seed interpreter or the pre-decoded dispatch table
 (``REPRO_NO_PRE_DECODE``), idle stretches are either stepped or
 fast-forwarded (``fast_forward``), steady loops are either stepped or
-replayed from verified templates (``fast_path``), and the run loop is
-either the reference every-cycle tick or the tickless event wheel with
-ready-set dispatch indexing (``REPRO_NO_EVENT_WHEEL``).  All sixteen are
-promised bit-identical.  This module generates randomized multi-phase co-running
+replayed from verified templates (``fast_path``), the run loop is either
+the reference every-cycle tick or the tickless event wheel with ready-set
+dispatch indexing (``REPRO_NO_EVENT_WHEEL``), and the co-processor
+dispatches either per-uop or through the opcode-grouped batch-execute
+backend (``REPRO_NO_BATCH_EXEC``).  All thirty-two are promised
+bit-identical.  This module generates randomized multi-phase co-running
 programs, runs each through every engine combination under every sharing
 mode, and diffs the complete run fingerprint (architectural memory state,
 metrics, lane timelines, stalls, phase records, cycle counts) against the
@@ -56,12 +58,13 @@ RESIDENT_TRIPS = (96, 160, 256)
 
 @dataclass(frozen=True)
 class EngineSpec:
-    """One of the sixteen engine combinations."""
+    """One of the thirty-two engine combinations."""
 
     pre_decode: bool
     fast_forward: bool
     fast_path: bool
     event_wheel: bool = False
+    batch_exec: bool = False
 
     @property
     def label(self) -> str:
@@ -74,21 +77,37 @@ class EngineSpec:
             parts.append("replay")
         if self.event_wheel:
             parts.append("wheel")
+        if self.batch_exec:
+            parts.append("batch")
         return "+".join(parts) if parts else "interp"
 
 
-#: The seed engine: interpreter, cycle by cycle, no replay, no wheel.
+#: Kill-switch environment variable per :class:`EngineSpec` axis.  Every
+#: axis must have one — the result-cache key coverage test asserts this
+#: mapping stays total, so a new engine cannot silently poison cached
+#: results or escape the fuzz matrix.
+ENGINE_KILL_SWITCH_ENV: Dict[str, str] = {
+    "pre_decode": "REPRO_NO_PRE_DECODE",
+    "fast_forward": "REPRO_NO_FAST_FORWARD",
+    "fast_path": "REPRO_NO_LOOP_REPLAY",
+    "event_wheel": "REPRO_NO_EVENT_WHEEL",
+    "batch_exec": "REPRO_NO_BATCH_EXEC",
+}
+
+#: The seed engine: interpreter, cycle by cycle, no replay, no wheel,
+#: per-uop dispatch.
 BASELINE_ENGINE = EngineSpec(pre_decode=False, fast_forward=False, fast_path=False)
 
 #: Every non-baseline combination, cheapest first.
 FAST_ENGINES: Tuple[EngineSpec, ...] = tuple(
-    EngineSpec(pre_decode, fast_forward, fast_path, event_wheel)
+    EngineSpec(pre_decode, fast_forward, fast_path, event_wheel, batch_exec)
+    for batch_exec in (False, True)
     for event_wheel in (False, True)
     for pre_decode in (False, True)
     for fast_forward in (False, True)
     for fast_path in (False, True)
-    if (pre_decode, fast_forward, fast_path, event_wheel)
-    != (False, False, False, False)
+    if (pre_decode, fast_forward, fast_path, event_wheel, batch_exec)
+    != (False, False, False, False, False)
 )
 
 
@@ -227,31 +246,31 @@ def case_kernels(spec: CaseSpec) -> List[Optional[Kernel]]:
 # --- engine execution -------------------------------------------------------
 
 
+#: Engine axes selected through the environment at construction time:
+#: ``REPRO_NO_PRE_DECODE`` is read at ``ScalarCore`` construction,
+#: ``REPRO_NO_EVENT_WHEEL`` and ``REPRO_NO_BATCH_EXEC`` at ``Machine``
+#: construction.  (``fast_forward``/``fast_path`` are ``run()`` arguments.)
+_CONSTRUCTION_AXES: Tuple[str, ...] = ("pre_decode", "event_wheel", "batch_exec")
+
+
 @contextmanager
 def _engine_env(engine: EngineSpec):
-    """Select the construction-time engine switches.
-
-    ``REPRO_NO_PRE_DECODE`` is read at ``ScalarCore`` construction and
-    ``REPRO_NO_EVENT_WHEEL`` at ``Machine`` construction, so both must be
-    set before the machine is built.
-    """
-    saved_decode = os.environ.pop("REPRO_NO_PRE_DECODE", None)
-    saved_wheel = os.environ.pop("REPRO_NO_EVENT_WHEEL", None)
-    if not engine.pre_decode:
-        os.environ["REPRO_NO_PRE_DECODE"] = "1"
-    if not engine.event_wheel:
-        os.environ["REPRO_NO_EVENT_WHEEL"] = "1"
+    """Select the construction-time engine switches before building the
+    machine, restoring the caller's environment afterwards."""
+    saved: Dict[str, Optional[str]] = {}
+    for axis in _CONSTRUCTION_AXES:
+        var = ENGINE_KILL_SWITCH_ENV[axis]
+        saved[var] = os.environ.pop(var, None)
+        if not getattr(engine, axis):
+            os.environ[var] = "1"
     try:
         yield
     finally:
-        if saved_decode is None:
-            os.environ.pop("REPRO_NO_PRE_DECODE", None)
-        else:
-            os.environ["REPRO_NO_PRE_DECODE"] = saved_decode
-        if saved_wheel is None:
-            os.environ.pop("REPRO_NO_EVENT_WHEEL", None)
-        else:
-            os.environ["REPRO_NO_EVENT_WHEEL"] = saved_wheel
+        for var, value in saved.items():
+            if value is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = value
 
 
 class CompiledCase:

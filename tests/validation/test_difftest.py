@@ -32,11 +32,12 @@ class TestGeneration:
             assert any(program is not None for program in compiled.programs)
 
     def test_engine_matrix_is_complete(self):
-        # 2^4 combinations: baseline plus fifteen fast variants, no dupes.
-        assert len(FAST_ENGINES) == 15
+        # 2^5 combinations: baseline plus thirty-one fast variants, no dupes.
+        assert len(FAST_ENGINES) == 31
         assert BASELINE_ENGINE not in FAST_ENGINES
-        assert len(set(FAST_ENGINES)) == 15
-        assert sum(1 for engine in FAST_ENGINES if engine.event_wheel) == 8
+        assert len(set(FAST_ENGINES)) == 31
+        assert sum(1 for engine in FAST_ENGINES if engine.event_wheel) == 16
+        assert sum(1 for engine in FAST_ENGINES if engine.batch_exec) == 16
 
     def test_default_policies_cover_every_sharing_mode(self):
         from repro.core.policies import POLICIES_BY_KEY
@@ -111,6 +112,72 @@ class TestCtsSwitchDuringSkip:
             CTS_SWITCH_DURING_SKIP, policies=("cts",), engines=WHEEL_ENGINES
         )
         assert not divergences, "\n".join(str(d) for d in divergences)
+
+
+#: Pinned hard case for the batch-execute backend.  The 30-seed sweep came
+#: up clean, so this spec was crafted rather than shrunk: under FTS the
+#: rename-hungry core and the store-flooding core together drive the batch
+#: planner through every mid-scan abort it models with shadow state —
+#: shared-pool RENAME exhaustion, STORE_QUEUE saturation, ISSUE_BUDGET
+#: splits and DEPENDENCY head-blocks — the paths where a planner that
+#: peeked at live state (or replayed the scan out of order) would diverge.
+BATCH_PLANNER_PRESSURE = CaseSpec(
+    seed=0,
+    cores=(
+        (PhaseSpec(comp=12, reads=6, extra_loads=6, stores=8, trip=512, repeats=1),),
+        (PhaseSpec(comp=1, reads=1, extra_loads=0, stores=14, trip=512, repeats=1),),
+    ),
+)
+
+BATCH_ENGINES = tuple(engine for engine in FAST_ENGINES if engine.batch_exec)
+
+
+class TestBatchPlannerPressure:
+    def test_spec_exercises_the_planner_abort_paths(self, monkeypatch):
+        """The pinned case really does hit rename and store-queue walls
+        while dispatching in batches — otherwise it regresses nothing."""
+        from repro.coproc.metrics import StallReason
+        from repro.core.machine import Machine
+        from repro.core.policies import policy
+
+        monkeypatch.setenv("REPRO_NO_EVENT_WHEEL", "1")
+        monkeypatch.delenv("REPRO_NO_BATCH_EXEC", raising=False)
+        compiled = CompiledCase(BATCH_PLANNER_PRESSURE)
+        machine = Machine(compiled.config, policy("fts"), compiled.jobs())
+        machine.run(fast_forward=True, fast_path=True)
+
+        stalls = {}
+        for core in range(machine.config.num_cores):
+            for reason, count in machine.metrics.stalls[core].items():
+                stalls[reason] = stalls.get(reason, 0) + count
+        assert stalls.get(StallReason.RENAME, 0) > 0
+        assert stalls.get(StallReason.STORE_QUEUE, 0) > 0
+        assert machine.profile.batched_dispatch_calls > 0
+        # Nothing in this spec is irregular: the backend must never have
+        # had to fall back to per-lane dispatch.
+        assert machine.profile.scalar_dispatch_calls == 0
+
+    def test_batch_engines_stay_bit_exact(self):
+        divergences = check_case(
+            BATCH_PLANNER_PRESSURE, policies=("fts",), engines=BATCH_ENGINES
+        )
+        assert not divergences, "\n".join(str(d) for d in divergences)
+
+    def test_audited_batch_run_matches_unaudited(self):
+        # The invariant auditor walks renamer/scoreboard state after every
+        # batched commit and allocation; it must observe nothing the scalar
+        # path would not have produced.
+        all_on = EngineSpec(
+            pre_decode=True,
+            fast_forward=True,
+            fast_path=True,
+            event_wheel=True,
+            batch_exec=True,
+        )
+        compiled = CompiledCase(BATCH_PLANNER_PRESSURE)
+        plain = fingerprint_sections(compiled.run("fts", all_on))
+        audited = fingerprint_sections(compiled.run("fts", all_on, audit=True))
+        assert plain == audited
 
 
 class TestBugDetection:
