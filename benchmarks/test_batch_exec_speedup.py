@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 
-from benchmarks.conftest import banner, run_once
+from benchmarks.conftest import banner, record_bench, run_once
 from repro.common.config import experiment_config
 from repro.core.machine import Machine
 from repro.core.policies import policy
@@ -99,6 +99,11 @@ def test_batch_exec_speedup(benchmark, monkeypatch):
     benchmark.extra_info["speedup"] = speedup
     benchmark.extra_info["batched_dispatch_calls"] = profile.batched_dispatch_calls
     benchmark.extra_info["scalar_dispatch_calls"] = profile.scalar_dispatch_calls
+    record_bench(
+        "batch_exec", speedup, slow_seconds, fast_seconds,
+        extra={"batched_dispatch_calls": profile.batched_dispatch_calls,
+               "scalar_dispatch_calls": profile.scalar_dispatch_calls},
+    )
 
     assert run_fingerprint(fast_result) == run_fingerprint(slow_result)
     assert profile.batched_dispatch_calls > 0

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 
-from benchmarks.conftest import banner, run_once
+from benchmarks.conftest import banner, record_bench, run_once
 from repro.common.config import experiment_config
 from repro.core.machine import Machine
 from repro.core.policies import policy
@@ -85,6 +85,10 @@ def test_event_wheel_speedup(benchmark, monkeypatch):
     benchmark.extra_info["fast_seconds"] = fast_seconds
     benchmark.extra_info["speedup"] = speedup
     benchmark.extra_info["asleep_pct"] = asleep_pct
+    record_bench(
+        "event_wheel", speedup, slow_seconds, fast_seconds,
+        extra={"asleep_pct": asleep_pct},
+    )
 
     assert run_fingerprint(fast_result) == run_fingerprint(slow_result)
     assert asleep > 0

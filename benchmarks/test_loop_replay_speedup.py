@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 
-from benchmarks.conftest import banner, run_once
+from benchmarks.conftest import banner, record_bench, run_once
 from repro.common.config import experiment_config
 from repro.core.machine import Machine
 from repro.core.policies import policy
@@ -64,6 +64,10 @@ def test_loop_replay_speedup(benchmark, monkeypatch):
     benchmark.extra_info["fast_seconds"] = fast_seconds
     benchmark.extra_info["speedup"] = speedup
     benchmark.extra_info["replayed_pct"] = replayed_pct
+    record_bench(
+        "loop_replay", speedup, slow_seconds, fast_seconds,
+        extra={"replayed_pct": replayed_pct},
+    )
 
     assert run_fingerprint(fast_result) == run_fingerprint(slow_result)
     assert profile.replayed_cycles > 0

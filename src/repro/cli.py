@@ -302,9 +302,35 @@ def _cmd_diff_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _resolve_runner(dotted: str):
+    """Import a ``package.module:callable`` job runner (serve --runner)."""
+    import importlib
+
+    from repro.common.errors import ConfigurationError
+
+    module_name, sep, attr = dotted.partition(":")
+    if not sep or not module_name or not attr:
+        raise ConfigurationError(
+            f"--runner must look like package.module:callable, got {dotted!r}"
+        )
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise ConfigurationError(f"cannot import runner module: {exc}") from None
+    runner = getattr(module, attr, None)
+    if not callable(runner):
+        raise ConfigurationError(
+            f"{dotted!r} does not name a callable in {module_name}"
+        )
+    return runner
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import ServerOptions, SimulationServer
 
+    kwargs = {}
+    if args.runner:
+        kwargs["runner"] = _resolve_runner(args.runner)
     options = ServerOptions(
         address=args.socket,
         workers=args.workers,
@@ -315,6 +341,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         retry_backoff=args.retry_backoff,
         recycle_after=args.recycle_after if args.recycle_after > 0 else None,
+        **kwargs,
     )
     server = SimulationServer(options)
     print(
@@ -400,47 +427,303 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_daemon_status(status: dict) -> None:
+    queue = status.get("queue", {})
+    workers = status.get("workers", {})
+    counters = status.get("counters", {})
+    print(
+        f"daemon pid {status.get('pid')} up {status.get('uptime_s')}s "
+        f"at {status.get('address')} "
+        f"(sched={status.get('scheduler')}, "
+        f"draining={status.get('draining')})"
+    )
+    print(
+        f"queue: {queue.get('depth')}/{queue.get('max_depth')} queued, "
+        f"workers {workers.get('busy')}/{workers.get('size')} busy "
+        f"(pids {workers.get('pids')}, {workers.get('recycled')} recycled)"
+    )
+    print(
+        "counters: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+    )
+
+
+def _print_fleet_totals(totals: dict) -> None:
+    counters = totals.get("counters", {})
+    print(
+        f"fleet: {totals.get('reachable')}/{totals.get('shards')} shards "
+        f"reachable, {totals.get('queued')} queued, "
+        f"{totals.get('busy_workers')}/{totals.get('workers')} workers busy, "
+        f"cache hit rate {totals.get('cache_hit_rate')}"
+    )
+    print(
+        "fleet counters: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+    )
+
+
+def _print_shard_line(label: str, status) -> None:
+    if not status or not status.get("ok"):
+        detail = (status or {}).get("error", "unreachable")
+        print(f"  {label}: UNREACHABLE ({detail})")
+        return
+    queue = status.get("queue", {})
+    workers = status.get("workers", {})
+    counters = status.get("counters", {})
+    submitted = counters.get("submitted", 0)
+    print(
+        f"  {label}: pid {status.get('pid')}, "
+        f"queue {queue.get('depth')}/{queue.get('max_depth')}, "
+        f"workers {workers.get('busy')}/{workers.get('size')} busy, "
+        f"cache_hits {counters.get('cache_hits', 0)}/{submitted}, "
+        f"retries {counters.get('retries', 0)}"
+    )
+
+
 def _cmd_svc_status(args: argparse.Namespace) -> int:
     import json
 
     from repro.common.errors import ServiceError
     from repro.service.client import ServiceClient
 
-    try:
-        with ServiceClient(args.socket, timeout=args.timeout) as client:
-            if args.drain:
-                reply = client.drain(timeout=args.timeout)
-                print(f"drained {reply.get('drained', 0)} pending job(s)")
-            status = client.status()
-            if args.shutdown:
-                client.shutdown()
-    except ServiceError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    sockets = args.socket or [None]
+    if len(sockets) == 1:
+        # Single daemon: the original detailed view (and the only mode
+        # where --drain/--shutdown stop one specific daemon).
+        try:
+            with ServiceClient(sockets[0], timeout=args.timeout) as client:
+                if args.drain:
+                    reply = client.drain(timeout=args.timeout)
+                    print(f"drained {reply.get('drained', 0)} pending job(s)")
+                status = client.status()
+                if args.shutdown:
+                    client.shutdown()
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        else:
+            _print_daemon_status(status)
+        if args.shutdown:
+            print("shutdown requested")
+        return 0
+
+    # Fleet mode: query every shard, aggregate instead of erroring.
+    from repro.service.fleet import aggregate_statuses
+
+    statuses = []
+    for address in sockets:
+        try:
+            with ServiceClient(address, timeout=args.timeout) as client:
+                if args.drain:
+                    client.drain(timeout=args.timeout)
+                status = client.status()
+                if args.shutdown:
+                    client.shutdown()
+            statuses.append(status)
+        except ServiceError as exc:
+            statuses.append({"ok": False, "error": str(exc)})
+    totals = aggregate_statuses(statuses)
     if args.json:
-        print(json.dumps(status, indent=2, sort_keys=True))
+        print(
+            json.dumps(
+                {
+                    "ok": totals.get("reachable", 0) > 0,
+                    "totals": totals,
+                    "shards": [
+                        {"address": address, "status": status}
+                        for address, status in zip(sockets, statuses)
+                    ],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
     else:
-        queue = status.get("queue", {})
-        workers = status.get("workers", {})
-        counters = status.get("counters", {})
-        print(
-            f"daemon pid {status.get('pid')} up {status.get('uptime_s')}s "
-            f"at {status.get('address')} "
-            f"(sched={status.get('scheduler')}, "
-            f"draining={status.get('draining')})"
-        )
-        print(
-            f"queue: {queue.get('depth')}/{queue.get('max_depth')} queued, "
-            f"workers {workers.get('busy')}/{workers.get('size')} busy "
-            f"(pids {workers.get('pids')}, {workers.get('recycled')} recycled)"
-        )
-        print(
-            "counters: "
-            + ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
-        )
+        _print_fleet_totals(totals)
+        for address, status in zip(sockets, statuses):
+            _print_shard_line(str(address), status)
     if args.shutdown:
         print("shutdown requested")
+    return 0 if totals.get("reachable", 0) == len(sockets) else 1
+
+
+# --- fleet: gateway + daemon supervision --------------------------------------
+
+#: Default gateway URL for the fleet client commands.
+FLEET_HTTP_ENV = "REPRO_FLEET_HTTP"
+DEFAULT_FLEET_HTTP = "http://127.0.0.1:8765"
+
+
+def _fleet_url(args: argparse.Namespace, path: str) -> str:
+    base = args.http or os.environ.get(FLEET_HTTP_ENV) or DEFAULT_FLEET_HTTP
+    if "://" not in base:
+        base = "http://" + base
+    return base.rstrip("/") + path
+
+
+def _http_json(url: str, method: str = "GET", body=None, timeout: float = 600.0):
+    """One JSON request against the gateway; returns (status, payload)."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        raw = exc.read()
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            payload = {"ok": False, "error": "http", "detail": raw[:200].decode("latin-1")}
+        return exc.code, payload
+    except (urllib.error.URLError, OSError) as exc:
+        from repro.common.errors import ServiceUnavailableError
+
+        raise ServiceUnavailableError(f"cannot reach gateway at {url}: {exc}") from None
+
+
+def _cmd_fleet_serve(args: argparse.Namespace) -> int:
+    from repro.service.fleet import FleetManager
+    from repro.service.gateway import Gateway, GatewayOptions
+
+    host, _, port_text = args.http_bind.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        from repro.common.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"--http must look like HOST:PORT, got {args.http_bind!r}"
+        ) from None
+    if args.runner:
+        _resolve_runner(args.runner)  # fail fast before spawning daemons
+    manager = FleetManager(
+        base_dir=args.base_dir,
+        workers=args.workers,
+        scheduler=args.sched,
+        queue_depth=args.queue_depth,
+        max_per_client=args.max_per_client,
+        job_timeout=args.job_timeout,
+        runner=args.runner,
+    )
+    print(
+        f"repro fleet: starting {args.count} daemon(s) "
+        f"({args.workers} worker(s) each, sched={args.sched}) ...",
+        flush=True,
+    )
+    try:
+        manager.start(args.count)
+        for shard in manager.shards():
+            print(f"  {shard.name}: pid {shard.pid} on {shard.address}", flush=True)
+        gateway = Gateway(
+            GatewayOptions(
+                host=host or "127.0.0.1",
+                port=port,
+                routing=args.routing,
+                steal_threshold=args.steal_threshold,
+                fleet=manager,
+            )
+        )
+        print(
+            f"repro fleet: gateway on http://{host or '127.0.0.1'}:{port} "
+            f"(routing={args.routing})",
+            flush=True,
+        )
+        try:
+            gateway.run()
+        except KeyboardInterrupt:
+            pass
+    finally:
+        manager.stop_all()
+    print("repro fleet: stopped")
     return 0
+
+
+def _fleet_request(args: argparse.Namespace, path: str, method="GET", body=None):
+    """Gateway request with connection errors turned into exit code 2."""
+    from repro.common.errors import ServiceError
+
+    try:
+        return _http_json(
+            _fleet_url(args, path), method=method, body=body, timeout=args.timeout
+        )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None, None
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    import json
+
+    code, payload = _fleet_request(args, "/status")
+    if code is None:
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if code == 200 and payload.get("ok") else 1
+    gateway = payload.get("gateway", {})
+    print(
+        f"gateway {gateway.get('http')} up {gateway.get('uptime_s')}s "
+        f"(routing={gateway.get('routing')}, "
+        f"{gateway.get('alive')} shard(s) alive)"
+    )
+    print(
+        "gateway counters: "
+        + ", ".join(
+            f"{k}={v}" for k, v in sorted((gateway.get("counters") or {}).items())
+        )
+    )
+    _print_fleet_totals(payload.get("totals", {}))
+    for entry in payload.get("shards", []):
+        label = f"{entry.get('shard')} {entry.get('address')}"
+        _print_shard_line(label, entry.get("status"))
+    return 0 if code == 200 and payload.get("ok") else 1
+
+
+def _cmd_fleet_drain(args: argparse.Namespace) -> int:
+    code, payload = _fleet_request(args, "/drain", method="POST")
+    if code is None:
+        return 2
+    if code == 200 and payload.get("ok"):
+        print(f"drained {payload.get('drained', 0)} pending job(s) fleet-wide")
+        return 0
+    print(f"error: {payload.get('detail', payload)}", file=sys.stderr)
+    return 2
+
+
+def _cmd_fleet_scale(args: argparse.Namespace) -> int:
+    code, payload = _fleet_request(args, "/scale", method="POST", body={"n": args.n})
+    if code is None:
+        return 2
+    if code == 200 and payload.get("ok"):
+        shards = payload.get("shards", [])
+        print(f"fleet scaled to {len(shards)} shard(s):")
+        for entry in shards:
+            print(f"  {entry.get('shard')}: {entry.get('address')}")
+        return 0
+    print(f"error: {payload.get('detail', payload)}", file=sys.stderr)
+    return 2
+
+
+def _cmd_fleet_stop(args: argparse.Namespace) -> int:
+    code, payload = _fleet_request(
+        args, "/shutdown", method="POST", body={"drain": bool(args.drain)}
+    )
+    if code is None:
+        return 2
+    if code == 200 and payload.get("ok"):
+        print("fleet shutdown requested")
+        return 0
+    print(f"error: {payload.get('detail', payload)}", file=sys.stderr)
+    return 2
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -676,6 +959,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the persistent result cache (disables dedup)",
     )
+    serve.add_argument(
+        "--runner", default=None, metavar="MOD:FUNC",
+        help="job runner as package.module:callable (default: the cached "
+        "simulation runner; test/bench harnesses inject stubs here)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -707,8 +995,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     svc_status = sub.add_parser(
         "svc-status",
-        help="query (and optionally drain/stop) a running daemon",
-        parents=[svc_common],
+        help="query (and optionally drain/stop) one daemon, or aggregate "
+        "a whole fleet with repeated --socket",
+    )
+    svc_status.add_argument(
+        "--socket", action="append", default=None, metavar="ADDR",
+        help="daemon address (Unix socket path or tcp:HOST:PORT); repeat "
+        "for a fleet-wide aggregate view (default $REPRO_SERVICE_SOCKET, "
+        "else <cache-dir>/service.sock)",
+    )
+    svc_status.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S",
+        help="client-side response timeout in seconds (default 600)",
     )
     svc_status.add_argument(
         "--drain", action="store_true",
@@ -716,10 +1014,111 @@ def build_parser() -> argparse.ArgumentParser:
     )
     svc_status.add_argument(
         "--shutdown", action="store_true",
-        help="stop the daemon after reporting status",
+        help="stop the daemon(s) after reporting status",
     )
     svc_status.add_argument("--json", action="store_true")
     svc_status.set_defaults(func=_cmd_svc_status)
+
+    # --- fleet: HTTP gateway + N daemons --------------------------------------
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run or control an HTTP gateway fronting N simulation daemons",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_op", required=True)
+
+    fleet_serve = fleet_sub.add_parser(
+        "serve", help="spawn N daemons and serve the HTTP gateway (foreground)"
+    )
+    fleet_serve.add_argument(
+        "-n", "--count", type=int, default=2, metavar="N",
+        help="daemon shards to spawn (default 2)",
+    )
+    fleet_serve.add_argument(
+        "--http", dest="http_bind", default="127.0.0.1:8765", metavar="HOST:PORT",
+        help="gateway listen address (default 127.0.0.1:8765)",
+    )
+    fleet_serve.add_argument(
+        "--routing", choices=("hash", "least-loaded", "steal"), default="hash",
+        help="shard routing policy: consistent-hash (warm-shard affinity), "
+        "least-loaded, or hash with work-stealing above --steal-threshold",
+    )
+    fleet_serve.add_argument(
+        "--steal-threshold", type=int, default=4, metavar="N",
+        help="queue-depth gap before 'steal' overrides the hash home "
+        "(default 4)",
+    )
+    fleet_serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker processes per daemon (default 2)",
+    )
+    fleet_serve.add_argument(
+        "--sched", choices=("fifo", "spjf", "fair"), default="fifo",
+        help="per-daemon scheduling policy (default fifo)",
+    )
+    fleet_serve.add_argument(
+        "--queue-depth", type=int, default=64, metavar="N",
+        help="per-daemon queue depth (default 64)",
+    )
+    fleet_serve.add_argument(
+        "--max-per-client", type=int, default=16, metavar="N",
+        help="per-daemon per-client quota (default 16)",
+    )
+    fleet_serve.add_argument(
+        "--job-timeout", type=float, default=300.0, metavar="S",
+        help="per-job wall-clock deadline in seconds (default 300)",
+    )
+    fleet_serve.add_argument(
+        "--base-dir", default=None, metavar="DIR",
+        help="directory for shard sockets and logs "
+        "(default <cache-dir>/fleet)",
+    )
+    fleet_serve.add_argument(
+        "--runner", default=None, metavar="MOD:FUNC",
+        help="job runner forwarded to every daemon (see 'serve --runner')",
+    )
+    fleet_serve.set_defaults(func=_cmd_fleet_serve)
+
+    fleet_client = argparse.ArgumentParser(add_help=False)
+    fleet_client.add_argument(
+        "--http", default=None, metavar="URL",
+        help=f"gateway URL (default ${FLEET_HTTP_ENV}, "
+        f"else {DEFAULT_FLEET_HTTP})",
+    )
+    fleet_client.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S",
+        help="HTTP response timeout in seconds (default 600)",
+    )
+
+    fleet_status = fleet_sub.add_parser(
+        "status", help="aggregate fleet status via the gateway",
+        parents=[fleet_client],
+    )
+    fleet_status.add_argument("--json", action="store_true")
+    fleet_status.set_defaults(func=_cmd_fleet_status)
+
+    fleet_drain = fleet_sub.add_parser(
+        "drain", help="quiesce every shard (finish queued + running work)",
+        parents=[fleet_client],
+    )
+    fleet_drain.set_defaults(func=_cmd_fleet_drain)
+
+    fleet_scale = fleet_sub.add_parser(
+        "scale", help="grow or shrink the fleet to N shards",
+        parents=[fleet_client],
+    )
+    fleet_scale.add_argument("n", type=int, help="target shard count")
+    fleet_scale.set_defaults(func=_cmd_fleet_scale)
+
+    fleet_stop = fleet_sub.add_parser(
+        "stop", help="shut down every shard and the gateway",
+        parents=[fleet_client],
+    )
+    fleet_stop.add_argument(
+        "--drain", action="store_true",
+        help="finish in-flight work before stopping",
+    )
+    fleet_stop.set_defaults(func=_cmd_fleet_stop)
 
     cache = sub.add_parser(
         "cache", help="inspect / prune the persistent result cache"

@@ -108,18 +108,38 @@ class CostModel:
                 }
             )
 
-    def save(self) -> bool:
-        """Persist observations atomically; returns False on any failure."""
+    def save(self, merge: bool = True) -> bool:
+        """Persist observations atomically; returns False on any failure.
+
+        The write is tempfile + ``os.replace`` so a crash mid-write can
+        never leave a torn file, and with ``merge=True`` (the default)
+        signatures another daemon persisted since our load are folded in
+        rather than clobbered — N fleet daemons sharing one
+        ``service_costs.json`` each keep their own observations for
+        conflicting signatures but never erase a sibling's.  In-memory
+        state is left untouched either way.
+        """
         if self.path is None:
             return False
+        entries = dict(self._costs)
         tmp_name = None
         try:
+            if merge:
+                try:
+                    with open(self.path, "r", encoding="utf-8") as handle:
+                        on_disk = json.load(handle)
+                except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                    on_disk = None
+                if isinstance(on_disk, dict):
+                    for sig, cost in on_disk.items():
+                        if isinstance(cost, (int, float)):
+                            entries.setdefault(str(sig), float(cost))
             self.path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(
                 dir=self.path.parent, prefix=".costs-", suffix=".tmp"
             )
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(self._costs, handle)
+                json.dump(entries, handle)
             os.replace(tmp_name, self.path)
             return True
         except OSError:

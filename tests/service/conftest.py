@@ -1,12 +1,16 @@
-"""Service test harness: a daemon in a background thread + sync clients."""
+"""Service test harness: daemons + gateway in background threads."""
 
 from __future__ import annotations
 
+import json
 import threading
+import urllib.error
+import urllib.request
 
 import pytest
 
 from repro.service.client import ServiceClient, wait_for_server
+from repro.service.gateway import Gateway, GatewayOptions, serve_in_thread
 from repro.service.server import ServerOptions, SimulationServer
 
 
@@ -51,6 +55,60 @@ def service_server(tmp_path, monkeypatch):
         thread.start()
         wait_for_server(server.address, deadline_s=15.0)
         handle = RunningServer(server, thread)
+        started.append(handle)
+        return handle
+
+    yield start
+    for handle in started:
+        handle.stop()
+
+
+class RunningGateway:
+    """Handle to one live HTTP gateway started by ``gateway_for``."""
+
+    def __init__(self, gateway: Gateway, thread: threading.Thread) -> None:
+        self.gateway = gateway
+        self.thread = thread
+        self.url = f"http://127.0.0.1:{gateway.bound_port}"
+
+    def request(self, method: str, path: str, body=None, timeout: float = 120.0):
+        """One HTTP round-trip; returns ``(status_code, json_payload)``."""
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            self.url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return response.status, json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read().decode("utf-8"))
+
+    def submit(self, spec, client: str = "test", timeout: float = 120.0):
+        return self.request(
+            "POST", "/submit", {"spec": spec, "client": client}, timeout=timeout
+        )
+
+    def stop(self, join_timeout: float = 15.0) -> None:
+        self.gateway.stop_threadsafe()
+        self.thread.join(timeout=join_timeout)
+
+
+@pytest.fixture
+def gateway_for():
+    """Factory fixture: ``gateway_for(addr1, addr2, **GatewayOptions fields)``.
+
+    Starts an HTTP gateway on an ephemeral port fronting the given daemon
+    addresses; stopped at teardown even when the test fails.
+    """
+    started = []
+
+    def start(*addresses, **options) -> RunningGateway:
+        options.setdefault("shards", list(addresses))
+        options.setdefault("health_interval", 30.0)  # tests probe explicitly
+        gateway = Gateway(GatewayOptions(**options))
+        thread = serve_in_thread(gateway)
+        handle = RunningGateway(gateway, thread)
         started.append(handle)
         return handle
 

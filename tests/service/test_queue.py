@@ -138,3 +138,65 @@ def test_cost_model_tolerates_corrupt_file(tmp_path):
     assert model.predict("sig") is None
     model.observe("sig", 10)
     assert model.save()
+
+
+def test_cost_model_save_is_atomic_under_crash(tmp_path, monkeypatch):
+    """A crash between tempfile write and replace never tears the file."""
+    import repro.service.queue as queue_module
+
+    path = tmp_path / "costs.json"
+    model = CostModel(path)
+    model.observe("sig", 100)
+    assert model.save()
+    before = path.read_bytes()
+
+    def exploding_replace(src, dst):
+        raise OSError("simulated crash mid-rename")
+
+    monkeypatch.setattr(queue_module.os, "replace", exploding_replace)
+    model.observe("sig", 900)
+    assert model.save() is False
+    monkeypatch.undo()
+
+    # The on-disk file is byte-identical to the last good save, the
+    # tempfile was cleaned up, and a retry round-trips the new state.
+    assert path.read_bytes() == before
+    assert not list(tmp_path.glob(".costs-*.tmp"))
+    assert model.save()
+    assert CostModel(path).predict("sig") == pytest.approx(500.0)
+
+
+def test_cost_model_concurrent_daemons_merge_not_clobber(tmp_path):
+    """Two daemons saving to one costs file keep each other's entries."""
+    path = tmp_path / "costs.json"
+    daemon_a = CostModel(path)
+    daemon_b = CostModel(path)
+    daemon_a.observe("only-a", 100)
+    daemon_b.observe("only-b", 200)
+    daemon_a.observe("both", 10)
+    daemon_b.observe("both", 90)
+
+    assert daemon_a.save()
+    assert daemon_b.save()  # b never saw only-a; merge must preserve it
+
+    fresh = CostModel(path)
+    assert fresh.predict("only-a") == pytest.approx(100.0)
+    assert fresh.predict("only-b") == pytest.approx(200.0)
+    # Conflicting signatures: the last writer's own observation wins.
+    assert fresh.predict("both") == pytest.approx(90.0)
+    # In-memory state was not polluted by the merge.
+    assert daemon_b.predict("only-a") is None
+
+
+def test_cost_model_save_without_merge_clobbers(tmp_path):
+    path = tmp_path / "costs.json"
+    daemon_a = CostModel(path)
+    daemon_a.observe("only-a", 100)
+    assert daemon_a.save()
+    daemon_b = CostModel(path)
+    daemon_b._loaded = True  # simulate a daemon that never loaded the file
+    daemon_b.observe("only-b", 200)
+    assert daemon_b.save(merge=False)
+    fresh = CostModel(path)
+    assert fresh.predict("only-a") is None
+    assert fresh.predict("only-b") == pytest.approx(200.0)
