@@ -1,14 +1,21 @@
-"""Model fidelity: the Eq. 4 roofline vs the cycle-approximate machine.
+"""Model fidelity: the analytical models vs the cycle-approximate machine.
 
-Not a paper figure — a validation study for DESIGN.md: the lane manager
-plans with the analytical model, so the model's *ordering* (more
-attainable performance -> more achieved throughput) and its saturation
-knees must track the simulator for the plans to make sense.
+Not a paper figure — a validation study for DESIGN.md.  Two gates:
+
+* the Eq. 4 roofline the lane manager plans with: its *ordering* (more
+  attainable performance -> more achieved throughput) and saturation
+  knees must track the simulator for the plans to make sense;
+* the ECM cycle predictor (``repro.analysis.ecm``): its *absolute*
+  predictions feed the service scheduler's cold-start prior and the
+  ``repro perf-report`` error tables, so its geomean relative cycle
+  error across the Table 3 workloads under occamy/fts/cts is CI-gated
+  at ``ECM_ERROR_GATE``.
 """
 
 from benchmarks.conftest import banner, run_once
+from repro.analysis.perf_report import ECM_ERROR_GATE
 from repro.analysis.reporting import format_table
-from repro.analysis.validation import validate_phase
+from repro.analysis.validation import validate_ecm, validate_phase
 from repro.workloads.spec import spec_workload
 
 
@@ -60,3 +67,48 @@ def test_roofline_tracks_machine(benchmark, bench_scale):
         label: validation.ordering_agreement
         for label, validation in results.items()
     }
+
+
+def test_ecm_tracks_machine(benchmark, bench_scale):
+    """ECM absolute cycle predictions vs full policy runs (CI gate).
+
+    Sweeps every Table 3 workload solo under occamy/fts/cts and requires
+    the geomean relative cycle error to stay under the gate the perf
+    report publishes (``ECM_ERROR_GATE``).
+    """
+    scale = min(bench_scale, 0.1)
+
+    validation = run_once(benchmark, lambda: validate_ecm(scale=scale))
+
+    banner(f"ECM vs machine — {len(validation.points)} points @ scale {scale}")
+    print(
+        format_table(
+            [
+                "workload",
+                "policy",
+                "predicted",
+                "non-overlap",
+                "measured",
+                "error",
+                "pred IPC",
+                "meas IPC",
+            ],
+            validation.table_rows(),
+        )
+    )
+    by_policy = validation.errors_by_policy()
+    print(
+        "geomean error: "
+        + " ".join(f"{key}={100 * err:.1f}%" for key, err in by_policy.items())
+        + f"  overall={100 * validation.geomean_error:.1f}% "
+        f"(max {100 * validation.max_error:.1f}%, gate {100 * ECM_ERROR_GATE:.0f}%)"
+    )
+
+    assert validation.points, "validation sweep produced no points"
+    assert validation.geomean_error <= ECM_ERROR_GATE
+    # No single workload/policy should be wildly off even when the
+    # geomean looks healthy.
+    assert validation.max_error <= 2 * ECM_ERROR_GATE
+
+    benchmark.extra_info["ecm_geomean_error"] = validation.geomean_error
+    benchmark.extra_info["ecm_errors_by_policy"] = by_policy

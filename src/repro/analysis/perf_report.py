@@ -1,0 +1,226 @@
+"""Auto-generated markdown perf report (``repro perf-report``).
+
+Folds two data sources into one reader-facing document, in the spirit of
+a tracked ``ipc_report`` doc:
+
+* the ``BENCH_*.json`` perf-trajectory records every CI-gated speedup
+  benchmark emits (:func:`benchmarks.conftest.record_bench`) — the
+  engineering trajectory: how much faster each subsystem is than its
+  reference path, per run, in a stable schema;
+* the ECM-vs-simulator cross-validation of
+  :func:`repro.analysis.validation.validate_ecm` — the modelling
+  trajectory: per-workload/policy predicted vs measured cycles, IPC,
+  relative errors and their geometric mean against the CI gate.
+
+The report is deterministic given its inputs (records are sorted by
+bench name, validation rows by workload id), so two runs over the same
+artifacts diff clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.validation import (
+    ECM_VALIDATION_POLICIES,
+    EcmValidation,
+    validate_ecm,
+)
+from repro.common.config import MachineConfig, describe, experiment_config
+from repro.common.errors import ConfigurationError
+
+#: The CI-gated ceiling on the ECM geomean relative cycle error.
+ECM_ERROR_GATE = 0.35
+
+#: Default workload scale for the report's validation sweep (small: the
+#: report is generated in CI after the benchmark jobs; accuracy holds
+#: across scales — see the validation suite).
+DEFAULT_REPORT_SCALE = 0.05
+
+
+def load_bench_records(bench_dir: Path) -> List[Dict[str, object]]:
+    """Read every ``BENCH_*.json`` record under ``bench_dir`` (recursive).
+
+    Records missing the shared schema tag or a bench name are skipped —
+    artifact directories accumulate unrelated JSON; a malformed record
+    (unreadable, non-object) is skipped too rather than failing the
+    whole report.
+    """
+    records = []
+    for path in sorted(bench_dir.rglob("BENCH_*.json")):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            continue
+        if isinstance(record, dict) and record.get("bench"):
+            records.append(record)
+    records.sort(key=lambda r: str(r.get("bench")))
+    return records
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join(" --- " for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def _trajectory_section(records: List[Dict[str, object]]) -> List[str]:
+    lines = ["## Perf trajectory (CI-gated speedup benchmarks)", ""]
+    if not records:
+        lines += [
+            "_No `BENCH_*.json` records found — run the benchmark suite "
+            "(or point `--bench-dir` at the CI artifacts) to populate "
+            "this section._",
+        ]
+        return lines
+    rows = []
+    for record in records:
+        rows.append(
+            [
+                f"`{record.get('bench')}`",
+                f"{record.get('speedup', 0):.2f}x",
+                f"{record.get('slow_seconds', 0):.2f}s",
+                f"{record.get('fast_seconds', 0):.2f}s",
+                record.get("bench_scale", "?"),
+                record.get("python", "?"),
+                record.get("recorded_at", "?"),
+            ]
+        )
+    lines += [
+        _md_table(
+            ["bench", "speedup", "reference", "optimised", "scale", "python", "recorded"],
+            rows,
+        ),
+        "",
+        "Each row is one optimisation's reference-vs-optimised wall time "
+        "at the recorded workload scale; the CI gates in "
+        "`.github/workflows/ci.yml` fail the build if a speedup regresses "
+        "below its floor.",
+    ]
+    return lines
+
+
+def _validation_section(validation: EcmValidation) -> List[str]:
+    gate = ECM_ERROR_GATE
+    geo = validation.geomean_error
+    verdict = "PASS" if geo <= gate else "FAIL"
+    lines = [
+        "## ECM model vs simulator (cycle-prediction error)",
+        "",
+        f"Workload scale {validation.scale}; policies "
+        f"{', '.join(sorted({p.policy_key for p in validation.points}))}; "
+        f"predictions use the overlapping ECM convention "
+        f"(`non-overlap` column shows the pessimistic bracket).",
+        "",
+        _md_table(
+            [
+                "workload",
+                "policy",
+                "predicted",
+                "non-overlap",
+                "measured",
+                "error",
+                "pred IPC",
+                "meas IPC",
+            ],
+            validation.table_rows(),
+        ),
+        "",
+    ]
+    policy_rows = [
+        [key, f"{100 * err:.1f}%"]
+        for key, err in validation.errors_by_policy().items()
+    ]
+    lines += [
+        _md_table(["policy", "geomean error"], policy_rows),
+        "",
+        f"**Geomean relative cycle error: {100 * geo:.1f}% "
+        f"(max {100 * validation.max_error:.1f}%) — gate ≤ {100 * gate:.0f}%: "
+        f"{verdict}.**",
+    ]
+    bracket_misses = [p for p in validation.points if not p.brackets]
+    if bracket_misses:
+        labels = ", ".join(f"{p.workload}/{p.policy_key}" for p in bracket_misses)
+        lines += [
+            "",
+            f"Convention brackets missed for: {labels} — the measurement "
+            "fell outside [overlap, non-overlap], i.e. the decomposition "
+            "itself (not just the overlap assumption) diverged there.",
+        ]
+    return lines
+
+
+def _config_section(config: MachineConfig) -> List[str]:
+    rows = [
+        [key, value, unit] for key, (value, unit) in describe(config).items()
+    ]
+    return [
+        "## Machine configuration",
+        "",
+        _md_table(["knob", "value", "unit"], rows),
+    ]
+
+
+def render_report(
+    records: List[Dict[str, object]],
+    validation: Optional[EcmValidation] = None,
+    config: Optional[MachineConfig] = None,
+) -> str:
+    """Render the markdown report from already-gathered inputs."""
+    config = config or experiment_config()
+    lines = [
+        "# Performance report",
+        "",
+        "Auto-generated by `repro perf-report` — do not edit by hand. "
+        "See `docs/perf-model.md` for how to read this report.",
+        "",
+    ]
+    lines += _config_section(config)
+    lines += [""]
+    lines += _trajectory_section(records)
+    lines += [""]
+    if validation is not None:
+        lines += _validation_section(validation)
+    else:
+        lines += [
+            "## ECM model vs simulator",
+            "",
+            "_Validation skipped (`--skip-validation`)._",
+        ]
+    return "\n".join(lines) + "\n"
+
+
+def generate_perf_report(
+    bench_dir: Path = Path("."),
+    out: Optional[Path] = None,
+    scale: float = DEFAULT_REPORT_SCALE,
+    workload_ids: Optional[Sequence[int]] = None,
+    policies: Sequence[str] = ECM_VALIDATION_POLICIES,
+    validate: bool = True,
+    config: Optional[MachineConfig] = None,
+) -> str:
+    """Gather inputs, render the report, optionally write it to ``out``."""
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    records = load_bench_records(Path(bench_dir))
+    validation = (
+        validate_ecm(
+            workload_ids=workload_ids, policies=policies, scale=scale, config=config
+        )
+        if validate
+        else None
+    )
+    text = render_report(records, validation, config=config)
+    if out is not None:
+        out = Path(out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text

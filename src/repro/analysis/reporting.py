@@ -3,12 +3,32 @@
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
 
 
-def geomean(values: Iterable[float]) -> float:
-    """Geometric mean (the paper's averaging throughout §7)."""
-    items = [v for v in values if v > 0]
+def geomean(values: Iterable[float], series: Optional[str] = None) -> float:
+    """Geometric mean (the paper's averaging throughout §7).
+
+    ``math.log`` is undefined for zero/negative entries and propagates
+    ``inf``/``NaN``, so non-positive and non-finite values are excluded:
+    a zero-utilization phase or an unmeasured (NaN) point should not
+    crash report generation or poison every other entry's average — the
+    mean is taken over the points that carry information.  Pass
+    ``series`` to instead fail loudly: a :class:`ConfigurationError`
+    naming the offending series is raised when any value would have been
+    skipped (for callers where a non-positive entry means the input data
+    is corrupt rather than merely sparse).
+    """
+    values = list(values)
+    items = [v for v in values if v > 0 and math.isfinite(v)]
+    if series is not None and len(items) != len(values):
+        bad = [v for v in values if not (v > 0 and math.isfinite(v))]
+        raise ConfigurationError(
+            f"geomean of series {series!r} requires positive finite values; "
+            f"got {bad}"
+        )
     if not items:
         return 0.0
     return math.exp(sum(math.log(v) for v in items) / len(items))
@@ -32,10 +52,16 @@ def format_series(
     """A one-line sparkline-ish rendering of a numeric series."""
     if not values:
         return f"{label}: (empty)"
-    peak = max(values) or 1.0
+    peak = max(values)
+    # An all-non-positive series has no meaningful peak to normalise by;
+    # render it flat rather than dividing by a negative/zero peak.
+    scale_by = peak if peak > 0 else 1.0
     glyphs = " .:-=+*#%@"
+    # Clamp below as well as above: a negative value would otherwise
+    # produce a negative glyph index, which Python silently wraps to the
+    # *highest* glyph — a dip would render as a spike.
     bar = "".join(
-        glyphs[min(len(glyphs) - 1, int(v / peak * (len(glyphs) - 1)))]
+        glyphs[max(0, min(len(glyphs) - 1, int(v / scale_by * (len(glyphs) - 1))))]
         for v in _resample(values, width)
     )
     return f"{label:>18} |{bar}| peak={peak:.3g}{unit}"

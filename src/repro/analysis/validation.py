@@ -1,22 +1,31 @@
-"""Model validation: does the LaneMgr's roofline track the simulator?
+"""Model validation: do the analytical models track the simulator?
 
-The lane manager allocates lanes using the analytical Eq. 4 model; the
-simulator executes with explicit queues, caches and bandwidth.  For the
-plans to be good, the model's *ordering* must track the machine: more
-predicted attainable performance should mean more achieved throughput,
-and the predicted saturation knee should match where measured speedup
-flattens.  ``validate_phase`` quantifies both for one phase.
+Two predictors are cross-validated against ``Machine.run``:
 
-Achieved performance is measured in the roofline's own units (the paper's
-per-32-bit-lane flop accounting): compute-uops x lanes per cycle.
+* the **roofline** (Eq. 4) the lane manager plans with — its *ordering*
+  must track the machine (more predicted attainable performance means
+  more achieved throughput) and its saturation knee must match where
+  measured speedup flattens; ``validate_phase`` quantifies both.
+  Achieved performance is measured in the roofline's own units (the
+  paper's per-32-bit-lane flop accounting): compute-uops x lanes per
+  cycle.
+
+* the **ECM cycle predictor** (:mod:`repro.analysis.ecm`) — its
+  *absolute* cycle predictions must land near the machine's measured
+  totals; ``validate_ecm`` sweeps the Table 3 workloads under the
+  sharing policies and reports per-point relative errors plus their
+  geometric mean (the CI-gated number, see
+  ``benchmarks/test_model_validation.py`` and ``repro perf-report``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.ecm import EcmModel
 from repro.analysis.experiments import run_with_fixed_lanes
+from repro.analysis.reporting import geomean
 from repro.common.config import MachineConfig, experiment_config
 from repro.compiler.ir import Kernel
 from repro.compiler.phase_analysis import analyze_kernel
@@ -118,3 +127,135 @@ def validate_phase(
         level=level,
         points=points,
     )
+
+
+# --- ECM cycle-prediction cross-validation -----------------------------------
+
+#: The sharing policies the ECM error gate covers (ISSUE 8 acceptance).
+ECM_VALIDATION_POLICIES: Tuple[str, ...] = ("occamy", "fts", "cts")
+
+
+@dataclass(frozen=True)
+class EcmValidationPoint:
+    """ECM-vs-machine for one (workload, policy) combination."""
+
+    workload: str  # e.g. "WL17"
+    policy_key: str
+    predicted_cycles: float  # overlapping-convention prediction
+    predicted_nonoverlap: float  # non-overlapping-convention prediction
+    measured_cycles: int
+    predicted_ipc: float
+    measured_ipc: float
+
+    @property
+    def rel_error(self) -> float:
+        """|predicted - measured| / measured (overlapping convention)."""
+        if self.measured_cycles <= 0:
+            return 0.0
+        return abs(self.predicted_cycles - self.measured_cycles) / self.measured_cycles
+
+    @property
+    def brackets(self) -> bool:
+        """Did the two ECM conventions bracket the measurement from at
+        least one side correctly (overlap <= measured or measured <=
+        non-overlap)?  Both failing means the decomposition itself — not
+        just the overlap assumption — missed the machine."""
+        return (
+            self.predicted_cycles <= self.measured_cycles
+            or self.measured_cycles <= self.predicted_nonoverlap
+        )
+
+
+@dataclass(frozen=True)
+class EcmValidation:
+    """A full ECM cross-validation sweep."""
+
+    points: List[EcmValidationPoint]
+    scale: float
+
+    @property
+    def geomean_error(self) -> float:
+        """Geometric-mean relative cycle error across all points.
+
+        Exact predictions (error 0) are floored at 0.1% so one perfect
+        point cannot drag the geometric mean to zero.
+        """
+        return geomean([max(point.rel_error, 1e-3) for point in self.points])
+
+    @property
+    def max_error(self) -> float:
+        return max((point.rel_error for point in self.points), default=0.0)
+
+    def errors_by_policy(self) -> Dict[str, float]:
+        """Per-policy geomean relative error."""
+        by_policy: Dict[str, List[float]] = {}
+        for point in self.points:
+            by_policy.setdefault(point.policy_key, []).append(
+                max(point.rel_error, 1e-3)
+            )
+        return {key: geomean(errors) for key, errors in sorted(by_policy.items())}
+
+    def table_rows(self) -> List[List[object]]:
+        """Rows for the perf report's per-workload error table."""
+        return [
+            [
+                point.workload,
+                point.policy_key,
+                f"{point.predicted_cycles:.0f}",
+                f"{point.predicted_nonoverlap:.0f}",
+                point.measured_cycles,
+                f"{100 * point.rel_error:.1f}%",
+                f"{point.predicted_ipc:.2f}",
+                f"{point.measured_ipc:.2f}",
+            ]
+            for point in self.points
+        ]
+
+
+def validate_ecm(
+    workload_ids: Optional[Sequence[int]] = None,
+    policies: Sequence[str] = ECM_VALIDATION_POLICIES,
+    scale: float = 0.1,
+    config: Optional[MachineConfig] = None,
+) -> EcmValidation:
+    """Run Table 3 workloads solo under each policy and diff vs the ECM.
+
+    Each workload occupies core 0 alone (the other cores idle), matching
+    the lane-allocation semantics :meth:`EcmModel.lanes_for` models; the
+    measured side is a full ``Machine.run``.  Measured IPC counts vector
+    uops (compute + ld/st) per total cycle, the same accounting the
+    predictor uses.
+    """
+    from repro.core.machine import run_policy
+    from repro.core.policies import POLICIES_BY_KEY
+    from repro.workloads.pairs import workload_job
+    from repro.workloads.spec import SPEC_WORKLOADS, spec_workload
+
+    config = config or experiment_config()
+    model = EcmModel(config)
+    ids = sorted(workload_ids) if workload_ids is not None else sorted(SPEC_WORKLOADS)
+    points = []
+    for workload_id in ids:
+        kernel = spec_workload(workload_id, scale=scale)
+        for policy_key in policies:
+            jobs: List[object] = [
+                workload_job("spec", workload_id, core_id=0, scale=scale)
+            ] + [None] * (config.num_cores - 1)
+            result = run_policy(config, POLICIES_BY_KEY[policy_key], jobs)
+            prediction = model.predict_kernel(kernel, policy_key)
+            measured_uops = result.metrics.compute_uops[0] + result.metrics.ldst_uops[0]
+            measured_ipc = (
+                measured_uops / result.total_cycles if result.total_cycles else 0.0
+            )
+            points.append(
+                EcmValidationPoint(
+                    workload=f"WL{workload_id}",
+                    policy_key=policy_key,
+                    predicted_cycles=prediction.cycles,
+                    predicted_nonoverlap=prediction.cycles_nonoverlap,
+                    measured_cycles=result.total_cycles,
+                    predicted_ipc=prediction.ipc,
+                    measured_ipc=measured_ipc,
+                )
+            )
+    return EcmValidation(points=points, scale=scale)

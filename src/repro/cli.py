@@ -19,6 +19,13 @@ Commands
     Render the motivating example's figures as SVG files.
 ``report OUT.md``
     Run a slice of the evaluation and write a Markdown report.
+``perf-report``
+    Generate the tracked performance report: folds the ``BENCH_*.json``
+    perf-trajectory records the benchmark suite emits together with an
+    ECM-vs-simulator cycle-prediction error table (see
+    ``docs/perf-model.md``).  ``--bench-dir`` points at the artifact
+    directory, ``--out`` writes the markdown, ``--skip-validation``
+    omits the (simulation-running) ECM sweep.
 ``diff-fuzz``
     Cross-engine differential fuzzing: random co-run programs executed
     through every fast-path combination (thirty-two engines: pre-decode x
@@ -231,6 +238,33 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     write_report(args.output, scale=args.scale, pairs_limit=args.pairs, jobs=args.jobs)
     print(f"report written to {args.output}")
+    return 0
+
+
+def _cmd_perf_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.perf_report import generate_perf_report
+    from repro.analysis.validation import ECM_VALIDATION_POLICIES
+
+    workload_ids = None
+    if args.workloads:
+        workload_ids = [int(token) for token in args.workloads.split(",")]
+    policies = (
+        tuple(args.policies.split(",")) if args.policies else ECM_VALIDATION_POLICIES
+    )
+    text = generate_perf_report(
+        bench_dir=Path(args.bench_dir),
+        out=Path(args.out) if args.out else None,
+        scale=args.scale,
+        workload_ids=workload_ids,
+        policies=policies,
+        validate=not args.skip_validation,
+    )
+    if args.out:
+        print(f"perf report written to {args.out}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -859,6 +893,36 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--scale", type=float, default=0.4)
     report.add_argument("--pairs", type=int, default=6)
     report.set_defaults(func=_cmd_report)
+
+    perf_report = sub.add_parser(
+        "perf-report",
+        help="generate the tracked markdown perf report",
+    )
+    perf_report.add_argument(
+        "--bench-dir", default=".",
+        help="directory searched (recursively) for BENCH_*.json records",
+    )
+    perf_report.add_argument(
+        "--out", default=None, metavar="OUT.md",
+        help="write the report here (default: print to stdout)",
+    )
+    perf_report.add_argument(
+        "--scale", type=float, default=0.05,
+        help="workload scale for the ECM validation sweep (default 0.05)",
+    )
+    perf_report.add_argument(
+        "--workloads", default=None, metavar="IDS",
+        help="comma-separated Table 3 workload ids (default: all 22)",
+    )
+    perf_report.add_argument(
+        "--policies", default=None, metavar="KEYS",
+        help="comma-separated sharing policies (default occamy,fts,cts)",
+    )
+    perf_report.add_argument(
+        "--skip-validation", action="store_true",
+        help="skip the ECM-vs-simulator sweep (report benches only)",
+    )
+    perf_report.set_defaults(func=_cmd_perf_report)
 
     diff_fuzz = sub.add_parser(
         "diff-fuzz",

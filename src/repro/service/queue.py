@@ -23,11 +23,13 @@ Schedulers (``SCHEDULERS``):
 ``spjf``
     Shortest-predicted-job-first: predicted cost is the cycle count the
     :class:`CostModel` has recorded for previous runs of the same spec
-    signature; unpredicted jobs fall back to FIFO *behind* predicted ones
-    only when a prediction exists — unknown-cost jobs rank by arrival with
-    an infinite estimate, so a fresh spec cannot be starved forever
-    because ``not_before`` retry fences still age out and FIFO order
-    breaks ties.
+    signature.  A signature never observed before is estimated with the
+    ECM analytical model (:func:`repro.analysis.ecm.predict_spec_cycles`)
+    instead of an infinite cost, so a cold fleet still runs shortest-
+    job-first rather than degrading to FIFO; only signatures the model
+    cannot parse (opaque/test signatures) keep the infinite-estimate
+    FIFO fallback, and ``not_before`` retry fences plus FIFO tie-breaks
+    keep every job from starving either way.
 ``fair``
     Fair-share round-robin across clients: the client with the fewest
     scheduled jobs this session goes first; FIFO within a client.
@@ -36,6 +38,7 @@ Schedulers (``SCHEDULERS``):
 from __future__ import annotations
 
 import json
+import math
 import os
 import tempfile
 from dataclasses import dataclass, field
@@ -43,6 +46,23 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.common.errors import AdmissionError, ConfigurationError
+
+
+def _valid_cost(value: object) -> bool:
+    """True for a usable cycle count: a finite, non-negative real number.
+
+    ``bool`` is an ``int`` subclass, so ``isinstance(x, (int, float))``
+    alone would accept ``true``/``false`` from a hand-edited JSON file;
+    non-finite floats are worse — a single ``NaN`` loaded from a corrupt
+    shared ``service_costs.json`` poisons every spjf ``min`` comparison
+    it participates in, silently randomising the schedule.
+    """
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+        and value >= 0
+    )
 
 #: Default bound on queued (not yet running) jobs.
 DEFAULT_MAX_DEPTH = 64
@@ -77,17 +97,22 @@ class CostModel:
     Backs the ``spjf`` scheduler: every completed job reports its
     ``total_cycles`` and later submissions of the same signature are
     predicted at the exponential moving average of those observations.
-    Optionally persisted (atomically, best-effort) as JSON next to the
-    result cache so predictions survive daemon restarts.
+    Signatures with no observation yet fall back to the ECM analytical
+    estimate (see :meth:`predict`) unless ``prior=False``.  Optionally
+    persisted (atomically, best-effort) as JSON next to the result cache
+    so predictions survive daemon restarts; corrupt entries — booleans,
+    ``NaN``/``Infinity``, negatives — are rejected on load and on merge
+    and are never written back (see :func:`_valid_cost`).
     """
 
     #: EMA smoothing: new observation weight.
     ALPHA = 0.5
 
-    def __init__(self, path: Optional[os.PathLike] = None) -> None:
+    def __init__(self, path: Optional[os.PathLike] = None, prior: bool = True) -> None:
         self.path = Path(path) if path else None
         self._costs: Dict[str, float] = {}
         self._loaded = False
+        self._prior_enabled = prior
 
     def load(self) -> None:
         """Read persisted observations; any unreadable file is ignored."""
@@ -104,7 +129,7 @@ class CostModel:
                 {
                     str(sig): float(cost)
                     for sig, cost in data.items()
-                    if isinstance(cost, (int, float))
+                    if _valid_cost(cost)
                 }
             )
 
@@ -132,7 +157,7 @@ class CostModel:
                     on_disk = None
                 if isinstance(on_disk, dict):
                     for sig, cost in on_disk.items():
-                        if isinstance(cost, (int, float)):
+                        if _valid_cost(cost):
                             entries.setdefault(str(sig), float(cost))
             self.path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(
@@ -151,6 +176,14 @@ class CostModel:
             return False
 
     def observe(self, signature: str, cycles: float) -> None:
+        """Fold one measured cycle count into the signature's EMA.
+
+        Invalid observations (bool, non-finite, negative) are dropped:
+        persisting one would poison the shared cost file for every
+        daemon that later merges it.
+        """
+        if not _valid_cost(cycles):
+            return
         if not self._loaded:
             self.load()
         previous = self._costs.get(signature)
@@ -162,6 +195,26 @@ class CostModel:
             )
 
     def predict(self, signature: str) -> Optional[float]:
+        """Predicted cycles: the observed EMA, else the ECM prior.
+
+        The prior (lazy-imported so queue construction never pays for
+        the analysis stack) only produces estimates for signatures that
+        parse as job specs; anything else returns ``None`` and keeps the
+        infinite-estimate FIFO fallback.
+        """
+        if not self._loaded:
+            self.load()
+        observed = self._costs.get(signature)
+        if observed is not None:
+            return observed
+        if not self._prior_enabled:
+            return None
+        from repro.analysis.ecm import predict_spec_cycles
+
+        return predict_spec_cycles(signature)
+
+    def observed(self, signature: str) -> Optional[float]:
+        """The measured EMA alone (no analytical prior), if any."""
         if not self._loaded:
             self.load()
         return self._costs.get(signature)

@@ -43,3 +43,26 @@ class TestReport:
         path = tmp_path / "cli.md"
         assert main(["report", str(path), "--scale", "0.05", "--pairs", "1"]) == 0
         assert "report written" in capsys.readouterr().out
+
+
+class TestDegenerateSeries:
+    """Zero/negative measurement series must not crash report sections
+    (a zero-utilization outcome used to hit ``math.log(0)``)."""
+
+    class _ZeroOutcome:
+        def speedup(self, key, core):
+            return 0.0
+
+        def utilization(self, key):
+            return 0.0
+
+        def rename_stall_fraction(self, key, core):
+            return -0.0
+
+    def test_pairs_section_survives_all_zero_outcomes(self):
+        from repro.analysis.report import _pairs_section
+
+        text = _pairs_section([self._ZeroOutcome()])
+        assert "Co-running pairs" in text
+        # Every geomean degraded to its no-information value, not a crash.
+        assert "0.00" in text

@@ -1,9 +1,17 @@
 """ASCII reporting helpers."""
 
+import math
+
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.analysis.reporting import format_series, format_table, geomean
+from repro.common.errors import ConfigurationError
+
+
+def _bar(text):
+    """The glyph run between the two pipes of a format_series line."""
+    return text.split("|")[1]
 
 
 class TestGeomean:
@@ -18,6 +26,25 @@ class TestGeomean:
 
     def test_empty(self):
         assert geomean([]) == 0.0
+
+    def test_ignores_nonfinite(self):
+        """NaN/inf entries must not poison the mean: log(inf) and
+        log(NaN) would propagate through the sum."""
+        assert geomean([2, 8, float("nan"), float("inf")]) == pytest.approx(4.0)
+
+    def test_all_skipped_is_zero_not_crash(self):
+        assert geomean([0.0, -3.0, float("nan")]) == 0.0
+
+    def test_named_series_raises_on_bad_values(self):
+        """With ``series`` set, a skippable value is treated as corrupt
+        input and the error names the series and the offenders."""
+        with pytest.raises(ConfigurationError, match=r"utilization.*-2"):
+            geomean([1.0, -2.0], series="utilization")
+        with pytest.raises(ConfigurationError, match="speedups"):
+            geomean([3.0, float("nan")], series="speedups")
+
+    def test_named_series_passes_clean_values(self):
+        assert geomean([2, 8], series="clean") == pytest.approx(4.0)
 
     @given(st.lists(st.floats(0.1, 10), min_size=1, max_size=20))
     def test_between_min_and_max(self, values):
@@ -43,3 +70,15 @@ class TestFormatting:
 
     def test_empty_series(self):
         assert "(empty)" in format_series("x", [])
+
+    def test_negative_value_renders_as_dip_not_spike(self):
+        """A negative sample must clamp to the *lowest* glyph; the old
+        negative index silently wrapped to the highest one, turning a
+        dip into a spike."""
+        bar = _bar(format_series("x", [-5.0, 10.0]))
+        assert bar[0] == " "  # clamped floor, not '@'
+        assert bar[1] == "@"
+
+    def test_all_nonpositive_series_renders_flat(self):
+        bar = _bar(format_series("x", [-1.0, -2.0, 0.0]))
+        assert set(bar) == {" "}

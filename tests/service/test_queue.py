@@ -1,9 +1,12 @@
 """Admission control, scheduling policies and the cost model."""
 
+import math
+
 import pytest
 
 from repro.common.errors import AdmissionError, ConfigurationError
 from repro.service.queue import CostModel, JobQueue, QueuedJob, make_scheduler
+from repro.service.specs import task_signature
 
 
 def _job(queue, job_id, client="c", signature=None, predicted=None):
@@ -93,6 +96,32 @@ def test_spjf_prefers_cheapest_predicted_job():
     order = [queue.pop_next(0.0).job_id for _ in range(3)]
     # known costs first (cheapest leading), unknown-cost jobs last in FIFO order
     assert order == ["cheap", "dear", "unknown"]
+
+
+def test_spjf_uses_ecm_prior_for_never_observed_spec(monkeypatch):
+    """A cold-fleet job with a parseable spec signature is ranked by the
+    ECM analytical estimate, not pushed to the back as infinite-cost —
+    here it overtakes a *longer* job the model has actually observed."""
+    cold_sig = task_signature(
+        {"kind": "pair", "suite": "spec", "mem": 20, "comp": 17,
+         "policy": "occamy", "scale": 0.05}
+    )
+    cost = CostModel()
+    assert cost.observed(cold_sig) is None  # never run anywhere...
+    prior = cost.predict(cold_sig)  # ...but ECM-predictable
+    assert prior is not None and math.isfinite(prior) and prior > 0
+    cost.observe("sig-known-long", 100 * prior)
+
+    queue = JobQueue(scheduler="spjf", cost_model=cost)
+    queue.submit(_job(queue, "long", signature="sig-known-long"))
+    queue.submit(_job(queue, "cold", signature=cold_sig))
+    assert [queue.pop_next(0.0).job_id for _ in range(2)] == ["cold", "long"]
+
+
+def test_cost_model_prior_can_be_disabled():
+    sig = task_signature({"kind": "motivate", "policy": "fts", "scale": 0.05})
+    assert CostModel(prior=False).predict(sig) is None
+    assert CostModel().predict(sig) is not None
 
 
 def test_fair_share_round_robins_across_clients():
@@ -186,6 +215,56 @@ def test_cost_model_concurrent_daemons_merge_not_clobber(tmp_path):
     assert fresh.predict("both") == pytest.approx(90.0)
     # In-memory state was not polluted by the merge.
     assert daemon_b.predict("only-a") is None
+
+
+def test_cost_model_drops_invalid_observations():
+    """bool/NaN/inf/negative cycle counts never enter the EMA."""
+    model = CostModel()
+    for bad in (float("nan"), float("inf"), float("-inf"), -1, True, False):
+        model.observe("sig", bad)
+    assert model.observed("sig") is None
+    model.observe("sig", 10)
+    model.observe("sig", float("nan"))  # must not disturb the EMA either
+    assert model.observed("sig") == pytest.approx(10.0)
+
+
+def test_cost_model_poisoned_file_round_trip(tmp_path):
+    """A corrupted shared costs file is scrubbed, not propagated.
+
+    ``json`` happily parses ``NaN``/``Infinity``/``true``; before the
+    ``_valid_cost`` filter those flowed through load -> merge-save and a
+    single NaN then poisoned every spjf ``min`` comparison on every
+    daemon sharing the file.
+    """
+    path = tmp_path / "costs.json"
+    path.write_text(
+        '{"good": 100.0, "nan": NaN, "inf": Infinity, "neg": -5.0, '
+        '"bool": true, "text": "fast"}',
+        encoding="utf-8",
+    )
+
+    daemon_a = CostModel(path)
+    assert daemon_a.observed("good") == pytest.approx(100.0)
+    for poisoned in ("nan", "inf", "neg", "bool", "text"):
+        assert daemon_a.observed(poisoned) is None
+        assert daemon_a.predict(poisoned) is None
+    daemon_a.observe("mine-a", 50)
+    # The merge path re-reads the still-poisoned on-disk file here.
+    assert daemon_a.save()
+
+    daemon_b = CostModel(path)
+    daemon_b.observe("mine-b", 70)
+    assert daemon_b.save()
+
+    text = path.read_text(encoding="utf-8")
+    assert "NaN" not in text and "Infinity" not in text and "true" not in text
+
+    fresh = CostModel(path)
+    assert fresh.observed("good") == pytest.approx(100.0)
+    assert fresh.observed("mine-a") == pytest.approx(50.0)
+    assert fresh.observed("mine-b") == pytest.approx(70.0)
+    for poisoned in ("nan", "inf", "neg", "bool", "text"):
+        assert fresh.observed(poisoned) is None
 
 
 def test_cost_model_save_without_merge_clobbers(tmp_path):
