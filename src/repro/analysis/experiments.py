@@ -359,3 +359,122 @@ def four_core_fig16(
 
     config = config or experiment_config(num_cores=4)
     return four_core_runs(scale, config, groups=groups, jobs=jobs)
+
+
+# --- N-core scaling sweep (ROADMAP item 1's experiment axis) -----------------
+
+#: Core counts the ``--cores`` CLI axis accepts.
+NCORE_COUNTS: Tuple[int, ...] = (2, 4, 8, 16, 32)
+
+#: Policies the N-core matrix runs: the Private baseline plus one policy
+#: per sharing mode (spatial/temporal/coarse-temporal).
+NCORE_POLICY_KEYS: Tuple[str, ...] = ("private", "occamy", "fts", "cts")
+
+
+def ncore_group(num_cores: int) -> Tuple[int, ...]:
+    """The deterministic co-run group evaluated at ``num_cores``.
+
+    Tiles the paper's Fig. 16 four-core groups — mixed memory/compute
+    pairings — across however many cores the machine has, so every size
+    co-runs the same workload blend and the policy comparison stays
+    apples-to-apples across the sweep.
+    """
+    flat = [workload for group in FOUR_CORE_GROUPS for workload in group]
+    return tuple(flat[core % len(flat)] for core in range(num_cores))
+
+
+def _ncore_jobs(group: Sequence[int], scale: float) -> List[Optional[Job]]:
+    return [
+        workload_job("spec", workload, core_id=core, scale=scale)
+        for core, workload in enumerate(group)
+    ]
+
+
+def _cached_group_run(
+    label: str,
+    policy: Policy,
+    scale: float,
+    config: MachineConfig,
+    jobs: Sequence[Optional[Job]],
+) -> RunResult:
+    """Two-level cached run keyed by a group label (the N-core analogue of
+    :func:`_cached_pair_run`)."""
+    from repro.analysis import result_cache
+
+    key = (label, policy.key, scale, config_fingerprint(config))
+    hit = _sweep_cache.get(key)
+    if hit is not None:
+        return hit
+    disk = result_cache.default_cache()
+    disk_key = None
+    if disk is not None:
+        disk_key = result_cache.simulation_key(config, policy.key, jobs)
+        result = disk.get(disk_key)
+        if result is not None:
+            _sweep_cache[key] = result
+            return result
+    result = run_policy(config, policy, jobs)
+    if disk is not None:
+        disk.put(disk_key, result)
+    _sweep_cache[key] = result
+    return result
+
+
+@dataclass
+class NCoreOutcome:
+    """One machine size's per-policy co-run results."""
+
+    num_cores: int
+    group: Tuple[int, ...]
+    results: Dict[str, RunResult]
+
+    def speedup(self, policy_key: str, core: int) -> float:
+        """Per-core speedup over the Private baseline at this size."""
+        return self.results[policy_key].speedup_over(self.results["private"], core)
+
+    def geomean_speedup(self, policy_key: str) -> float:
+        """Geometric-mean per-core speedup over Private at this size."""
+        product = 1.0
+        for core in range(self.num_cores):
+            product *= max(self.speedup(policy_key, core), 1e-12)
+        return product ** (1.0 / self.num_cores)
+
+    def utilization(self, policy_key: str) -> float:
+        return self.results[policy_key].metrics.simd_utilization()
+
+
+def ncore_outcome(
+    num_cores: int,
+    scale: float = DEFAULT_SCALE,
+    policies: Sequence[str] = NCORE_POLICY_KEYS,
+    config: Optional[MachineConfig] = None,
+) -> NCoreOutcome:
+    """Run (or fetch) the ``num_cores``-machine co-run under ``policies``."""
+    from repro.core.policies import POLICIES_BY_KEY
+
+    config = config or experiment_config(num_cores=num_cores)
+    group = ncore_group(num_cores)
+    label = f"ncore{list(group)}"
+    results: Dict[str, RunResult] = {}
+    for policy_key in policies:
+        jobs = _ncore_jobs(group, scale)
+        results[policy_key] = _cached_group_run(
+            label, POLICIES_BY_KEY[policy_key], scale, config, jobs
+        )
+    return NCoreOutcome(num_cores=num_cores, group=group, results=results)
+
+
+def ncore_sweep(
+    core_counts: Sequence[int] = (8, 16, 32),
+    scale: float = DEFAULT_SCALE,
+    policies: Sequence[str] = NCORE_POLICY_KEYS,
+) -> List[NCoreOutcome]:
+    """The N-core scaling matrix: every size × every policy, memoised.
+
+    The experiment dimension ROADMAP item 1 asks for — affordable because
+    the hierarchical wheel and sharded lane bookkeeping keep per-cycle cost
+    proportional to the cores that actually have work.
+    """
+    return [
+        ncore_outcome(num_cores, scale, policies) for num_cores in core_counts
+    ]

@@ -157,6 +157,36 @@ def _validation_section(validation: EcmValidation) -> List[str]:
     return lines
 
 
+def _ncore_section(outcomes: Sequence[object]) -> List[str]:
+    """Per-core-count geomean rows from an :func:`ncore_sweep` run."""
+    from repro.analysis.experiments import NCORE_POLICY_KEYS
+
+    policy_keys = [key for key in NCORE_POLICY_KEYS if key != "private"]
+    rows = []
+    for outcome in outcomes:
+        row: List[object] = [
+            outcome.num_cores,
+            ",".join(str(workload) for workload in outcome.group),
+        ]
+        row += [
+            f"{outcome.geomean_speedup(key):.2f}x" for key in policy_keys
+        ]
+        row.append(f"{100 * outcome.utilization('occamy'):.1f}%")
+        rows.append(row)
+    headers = ["cores", "workloads"] + [
+        f"{key} geomean" for key in policy_keys
+    ] + ["occamy util"]
+    return [
+        "## N-core scaling (geomean speedup over Private)",
+        "",
+        _md_table(headers, rows),
+        "",
+        "Each row co-runs the Fig. 16 workload blend tiled across the "
+        "machine (`repro motivate --cores`); geomeans are per-core "
+        "speedups over the Private baseline at the same size.",
+    ]
+
+
 def _config_section(config: MachineConfig) -> List[str]:
     rows = [
         [key, value, unit] for key, (value, unit) in describe(config).items()
@@ -172,6 +202,7 @@ def render_report(
     records: List[Dict[str, object]],
     validation: Optional[EcmValidation] = None,
     config: Optional[MachineConfig] = None,
+    ncore_outcomes: Optional[Sequence[object]] = None,
 ) -> str:
     """Render the markdown report from already-gathered inputs."""
     config = config or experiment_config()
@@ -186,6 +217,9 @@ def render_report(
     lines += [""]
     lines += _trajectory_section(records)
     lines += [""]
+    if ncore_outcomes:
+        lines += _ncore_section(ncore_outcomes)
+        lines += [""]
     if validation is not None:
         lines += _validation_section(validation)
     else:
@@ -205,11 +239,22 @@ def generate_perf_report(
     policies: Sequence[str] = ECM_VALIDATION_POLICIES,
     validate: bool = True,
     config: Optional[MachineConfig] = None,
+    ncore_counts: Optional[Sequence[int]] = None,
 ) -> str:
-    """Gather inputs, render the report, optionally write it to ``out``."""
+    """Gather inputs, render the report, optionally write it to ``out``.
+
+    ``ncore_counts`` adds the N-core scaling section: the Fig. 16 blend
+    co-run at each machine size (results come from the shared two-level
+    simulation cache, so a CI re-render after the sweep is warm).
+    """
     if scale <= 0:
         raise ConfigurationError(f"scale must be positive, got {scale}")
     records = load_bench_records(Path(bench_dir))
+    ncore_outcomes = None
+    if ncore_counts:
+        from repro.analysis.experiments import ncore_sweep
+
+        ncore_outcomes = ncore_sweep(tuple(ncore_counts), scale=scale)
     validation = (
         validate_ecm(
             workload_ids=workload_ids, policies=policies, scale=scale, config=config
@@ -217,7 +262,9 @@ def generate_perf_report(
         if validate
         else None
     )
-    text = render_report(records, validation, config=config)
+    text = render_report(
+        records, validation, config=config, ncore_outcomes=ncore_outcomes
+    )
     if out is not None:
         out = Path(out)
         out.parent.mkdir(parents=True, exist_ok=True)

@@ -29,14 +29,23 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Sequence
 
 from repro.common.config import MachineConfig, config_fingerprint, default_batch_exec
-from repro.core.machine import Job, RunResult, default_event_wheel, default_fast_forward
+from repro.core.machine import (
+    Job,
+    RunResult,
+    default_event_wheel,
+    default_fast_forward,
+    default_hier_wheel,
+)
+from repro.core.partition import default_lane_shards
 from repro.core.replay import default_loop_replay
 from repro.core.scalar_core import default_pre_decode
 
 #: Bump when simulation *semantics* change so old entries stop matching.
 #: v2: tickless event-wheel engine added; engine kill switches join the key.
 #: v3: batch-execute dispatch backend added; its kill switch joins the key.
-CACHE_VERSION = 3
+#: v4: hierarchical wake index + sharded lane bookkeeping added; both kill
+#:     switches join the key.
+CACHE_VERSION = 4
 
 #: Every engine kill switch, as ``(env_var, default_fn)`` pairs — the single
 #: source of truth :func:`simulation_key` folds into its digest.  A new
@@ -49,6 +58,8 @@ ENGINE_SWITCHES = (
     ("REPRO_NO_LOOP_REPLAY", default_loop_replay),
     ("REPRO_NO_EVENT_WHEEL", default_event_wheel),
     ("REPRO_NO_BATCH_EXEC", default_batch_exec),
+    ("REPRO_NO_HIER_WHEEL", default_hier_wheel),
+    ("REPRO_NO_LANE_SHARDS", default_lane_shards),
 )
 
 #: Environment variable overriding the default cache directory.

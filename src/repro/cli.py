@@ -4,7 +4,11 @@ Commands
 --------
 
 ``motivate``
-    Run the §2 motivating example on all four architectures.
+    Run the §2 motivating example on all four architectures.  With
+    ``--cores N [N ...]`` it instead sweeps the N-core scaling matrix
+    (§4.2.1 machines built by ``MachineConfig.scaled_to_cores``): the
+    Fig. 16 workload blend tiled across 2/4/8/16/32 cores, each size
+    co-run under private/occamy/fts/cts.
 ``pair SUITE MEM COMP``
     Co-run one Table 3 pair (e.g. ``pair spec 20 17``).
 ``roofline OI_ISSUE OI_MEM``
@@ -28,11 +32,15 @@ Commands
     omits the (simulation-running) ECM sweep.
 ``diff-fuzz``
     Cross-engine differential fuzzing: random co-run programs executed
-    through every fast-path combination (thirty-two engines: pre-decode x
-    fast-forward x loop-replay x event-wheel x batch-exec) under every
-    sharing mode,
-    full run fingerprints diffed against the seed interpreter.  Diverging
-    cases are shrunk to minimal repros and emitted as regression tests.
+    through every fast-path combination (ninety-five engines: pre-decode
+    x fast-forward x loop-replay x event-wheel x batch-exec x
+    hierarchical-wheel x lane-shards, minus the hier-without-wheel
+    duplicates) under every sharing mode, full run fingerprints diffed
+    against the seed interpreter.  ``--cores N`` widens the generated
+    co-runs to N-core machines; ``--engines key`` restricts the sweep to
+    the curated high-signal combinations for expensive smokes.
+    Diverging cases are shrunk to minimal repros and emitted as
+    regression tests.
 ``serve``
     Run the simulation daemon: a long-lived asyncio service owning a
     supervised worker pool, admitting jobs over a local socket with
@@ -102,6 +110,8 @@ POLICY_KEYS = ("private", "fts", "vls", "occamy")
 
 
 def _cmd_motivate(args: argparse.Namespace) -> int:
+    if args.cores:
+        return _motivate_ncore(args)
     result = motivation_fig2(scale=args.scale, jobs=args.jobs)
     rows = []
     for key in POLICY_KEYS:
@@ -120,6 +130,28 @@ def _cmd_motivate(args: argparse.Namespace) -> int:
     print("\nOccamy lane plans:")
     for cycle, plan in result.results["occamy"].lane_manager.plan_history:
         print(f"  {cycle:>8}: {plan}")
+    return 0
+
+
+def _motivate_ncore(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import NCORE_POLICY_KEYS, ncore_outcome
+
+    for num_cores in args.cores:
+        outcome = ncore_outcome(num_cores, scale=args.scale)
+        rows = []
+        for key in NCORE_POLICY_KEYS:
+            run = outcome.results[key]
+            rows.append(
+                [
+                    key,
+                    run.total_cycles,
+                    f"{outcome.geomean_speedup(key):.2f}x",
+                    f"{100 * outcome.utilization(key):.1f}%",
+                ]
+            )
+        group = ",".join(str(workload) for workload in outcome.group)
+        print(f"\n{num_cores} cores (workloads {group}):")
+        print(format_table(["arch", "cycles", "geomean", "util"], rows))
     return 0
 
 
@@ -260,6 +292,7 @@ def _cmd_perf_report(args: argparse.Namespace) -> int:
         workload_ids=workload_ids,
         policies=policies,
         validate=not args.skip_validation,
+        ncore_counts=args.cores,
     )
     if args.out:
         print(f"perf report written to {args.out}")
@@ -275,6 +308,7 @@ def _cmd_diff_fuzz(args: argparse.Namespace) -> int:
     from repro.validation.difftest import (
         DEFAULT_POLICIES,
         FAST_ENGINES,
+        KEY_ENGINES,
         BASELINE_ENGINE,
         fuzz_seeds,
     )
@@ -287,18 +321,22 @@ def _cmd_diff_fuzz(args: argparse.Namespace) -> int:
             return 2
     else:
         policies = DEFAULT_POLICIES
+    engines = KEY_ENGINES if args.engines == "key" else FAST_ENGINES
     seeds = list(range(args.start, args.start + args.seeds))
-    runs = len(seeds) * len(policies) * (len(FAST_ENGINES) + 1)
+    runs = len(seeds) * len(policies) * (len(engines) + 1)
     print(
-        f"diff-fuzz: {len(seeds)} case(s), policies {', '.join(policies)}, "
-        f"{len(FAST_ENGINES)} engine(s) vs {BASELINE_ENGINE.label} "
+        f"diff-fuzz: {len(seeds)} case(s), {args.cores} cores, "
+        f"policies {', '.join(policies)}, "
+        f"{len(engines)} engine(s) vs {BASELINE_ENGINE.label} "
         f"({runs} runs)"
     )
     report = fuzz_seeds(
         seeds,
         policies=policies,
+        engines=engines,
         audit=True if args.audit else None,
         progress=print,
+        num_cores=args.cores,
     )
     if report.clean:
         print(f"OK: {report.runs} runs, all engines bit-identical")
@@ -841,6 +879,13 @@ def build_parser() -> argparse.ArgumentParser:
         "motivate", help="run the §2 motivating example", parents=[runtime]
     )
     motivate.add_argument("--scale", type=float, default=0.5)
+    motivate.add_argument(
+        "--cores", type=int, nargs="+", default=None, metavar="N",
+        choices=(2, 4, 8, 16, 32),
+        help="instead of the 2-core Fig. 2 pair, sweep the N-core scaling "
+        "matrix (Fig. 16 blend tiled across each machine size, co-run "
+        "under private/occamy/fts/cts); e.g. --cores 8 16 32",
+    )
     motivate.set_defaults(func=_cmd_motivate)
 
     pair = sub.add_parser(
@@ -922,6 +967,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip-validation", action="store_true",
         help="skip the ECM-vs-simulator sweep (report benches only)",
     )
+    perf_report.add_argument(
+        "--cores", type=int, nargs="+", default=None, metavar="N",
+        choices=(2, 4, 8, 16, 32),
+        help="add the N-core scaling section: per-core-count geomean "
+        "speedups of occamy/fts/cts over Private on the tiled Fig. 16 "
+        "blend (e.g. --cores 8 16 32)",
+    )
     perf_report.set_defaults(func=_cmd_perf_report)
 
     diff_fuzz = sub.add_parser(
@@ -941,6 +993,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--policies", default=None, metavar="KEYS",
         help="comma-separated policy keys (default occamy,fts,cts — one "
         "per sharing mode)",
+    )
+    diff_fuzz.add_argument(
+        "--cores", type=int, default=2, metavar="N",
+        help="generate N-core co-run cases on an N-core machine "
+        "(default 2)",
+    )
+    diff_fuzz.add_argument(
+        "--engines", choices=("all", "key"), default="all",
+        help="'all' diffs every fast-path combination (ninety-five "
+        "engines); 'key' only the curated high-signal combos — "
+        "everything-on, the prior-generation stack, each new axis "
+        "alone and each left out (default all)",
     )
     diff_fuzz.add_argument(
         "--report", default=None, metavar="OUT.json",

@@ -211,7 +211,16 @@ class MachineConfig:
 
         Matches §4.2.1: scaling Occamy up enlarges the tables and pipelines
         while the per-core lane budget stays constant (16 lanes/core).
+        Raises :class:`ConfigurationError` when the current lane pool does
+        not divide evenly across the current cores — silently truncating
+        the per-core budget would hand the scaled machine fewer lanes per
+        core than the source configuration promises.
         """
+        if self.vector.total_lanes % self.num_cores != 0:
+            raise ConfigurationError(
+                f"cannot scale: {self.vector.total_lanes} total lanes do not "
+                f"divide evenly across {self.num_cores} cores"
+            )
         lanes_per_core = self.vector.total_lanes // self.num_cores
         vector = dataclasses.replace(self.vector, total_lanes=lanes_per_core * num_cores)
         return dataclasses.replace(self, num_cores=num_cores, vector=vector)

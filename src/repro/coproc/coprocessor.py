@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import enum
 import math
-from typing import Dict, List, Optional
+from bisect import bisect_left
+from typing import Dict, List, Optional, Set
 
 from repro.common.config import MachineConfig
 from repro.common.errors import SimulationError
@@ -62,7 +63,10 @@ class CoProcessor:
         lane_manager: "LaneManagerProtocol",
         indexed: bool = False,
         batch_exec: bool = False,
+        lane_shards: Optional[bool] = None,
     ) -> None:
+        from repro.core.partition import default_lane_shards
+
         self.config = config
         self.mode = mode
         self.metrics = metrics
@@ -92,6 +96,26 @@ class CoProcessor:
         ]
         #: Opcode-grouped dispatch/commit backend (``REPRO_NO_BATCH_EXEC``).
         self._batch = BatchExecutor(self) if batch_exec else None
+        #: Sharded-bookkeeping switch (``REPRO_NO_LANE_SHARDS``), latched at
+        #: construction like the other engine axes.  When on, the pools push
+        #: 0↔non-zero occupancy transitions into :attr:`_busy_pools` so CTS
+        #: arbitration asks "who has work" in O(busy cores) instead of
+        #: scanning every pool each cycle.
+        self._lane_shards = (
+            default_lane_shards() if lane_shards is None else lane_shards
+        )
+        self._busy_pools: Optional[Set[int]] = set() if self._lane_shards else None
+        if self._busy_pools is not None:
+            busy_pools = self._busy_pools
+
+            def _on_occupancy(core: int, busy: bool) -> None:
+                if busy:
+                    busy_pools.add(core)
+                else:
+                    busy_pools.discard(core)
+
+            for pool in self.pools:
+                pool.on_occupancy = _on_occupancy
         self.core_active = [True] * num_cores
         self._seq = 0
         self._rotate = 0
@@ -192,6 +216,7 @@ class CoProcessor:
         cycle: int,
         awake: Optional[List[bool]] = None,
         core_events: Optional[List[int]] = None,
+        active: Optional[List[int]] = None,
     ) -> int:
         """Advance one cycle; returns the number of events processed.
 
@@ -199,11 +224,18 @@ class CoProcessor:
         their commit/EM-SIMD/dispatch phases are skipped entirely — their
         per-cycle metric events are settled in bulk when they wake.
         ``core_events`` when provided accumulates per-core event counts so
-        the scheduler can make per-component sleep decisions.
+        the scheduler can make per-component sleep decisions.  ``active``
+        (hierarchical-wheel engine) is the machine's sorted awake-live core
+        list: the per-core phases walk it instead of every core slot, so a
+        cycle costs O(components with work).  Cores absent from it are
+        either asleep (the ``awake`` mask skips them anyway) or done/absent
+        (provably no-ops in every phase: empty pool, inactive core flag,
+        lazily-drained LSU).
         """
         events = 0
         recorder = self.recorder
-        for core in range(self.config.num_cores):
+        cores = active if active is not None else range(self.config.num_cores)
+        for core in cores:
             if awake is not None and not awake[core]:
                 continue
             self.lsus[core].on_cycle(cycle)
@@ -220,8 +252,8 @@ class CoProcessor:
             if core_events is not None:
                 core_events[core] += committed
             events += committed
-        events += self._execute_emsimd(cycle, awake, core_events)
-        events += self._dispatch(cycle, awake, core_events)
+        events += self._execute_emsimd(cycle, awake, core_events, active)
+        events += self._dispatch(cycle, awake, core_events, active)
         return events
 
     def _execute_emsimd(
@@ -229,10 +261,12 @@ class CoProcessor:
         cycle: int,
         awake: Optional[List[bool]] = None,
         core_events: Optional[List[int]] = None,
+        active: Optional[List[int]] = None,
     ) -> int:
         """Process at most one head-of-pool EM-SIMD instruction per core."""
         events = 0
-        for core in range(self.config.num_cores):
+        cores = active if active is not None else range(self.config.num_cores)
+        for core in cores:
             if awake is not None and not awake[core]:
                 continue
             pool = self.pools[core]
@@ -280,11 +314,20 @@ class CoProcessor:
             self.metrics.on_lane_change(core, lanes, cycle)
         self.metrics.on_reconfig(core, success)
 
-    def _core_order(self) -> List[int]:
-        """Rotate dispatch priority for fairness under temporal sharing."""
+    def _core_order(self, active: Optional[List[int]] = None) -> List[int]:
+        """Rotate dispatch priority for fairness under temporal sharing.
+
+        With a sorted ``active`` list, returns the reference rotation
+        filtered to the active cores (the dropped cores are dispatch no-ops:
+        asleep cores are masked out by the caller and done/absent cores have
+        empty pools and an inactive core flag).
+        """
         n = self.config.num_cores
         self._rotate = (self._rotate + 1) % n
-        return [(self._rotate + i) % n for i in range(n)]
+        if active is None:
+            return [(self._rotate + i) % n for i in range(n)]
+        start = bisect_left(active, self._rotate)
+        return active[start:] + active[:start]
 
     def _cts_arbitrate(self, cycle: int) -> Optional[int]:
         """Coarse-temporal ownership: rotate at quantum expiry or when the
@@ -292,17 +335,34 @@ class CoProcessor:
         penalty.  Returns the core allowed to dispatch this cycle."""
         if cycle < self._cts_blocked_until:
             return None  # still draining/restoring from the last hand-over
-        n = self.config.num_cores
         owner = self._cts_owner
-        owner_busy = not self.pools[owner].empty
-        others_waiting = [
-            core
-            for core in range(n)
-            if core != owner and not self.pools[core].empty
-        ]
         expired = cycle >= self._cts_until
-        if others_waiting and (expired or not owner_busy):
-            self._cts_owner = others_waiting[0]
+        busy = self._busy_pools
+        if busy is not None:
+            # Sharded fast path: the pools maintain the busy set on 0↔non-
+            # zero occupancy transitions, so arbitration costs O(busy cores)
+            # instead of an all-pool scan.  ``min`` over the non-owner busy
+            # cores equals the reference's ``others_waiting[0]`` (it scans
+            # cores in ascending order).
+            owner_busy = owner in busy
+            if not (expired or not owner_busy):
+                return self._cts_owner
+            next_owner = min(
+                (core for core in busy if core != owner), default=None
+            )
+            waiting = next_owner is not None
+        else:
+            n = self.config.num_cores
+            owner_busy = not self.pools[owner].empty
+            others_waiting = [
+                core
+                for core in range(n)
+                if core != owner and not self.pools[core].empty
+            ]
+            waiting = bool(others_waiting)
+            next_owner = others_waiting[0] if others_waiting else None
+        if waiting and (expired or not owner_busy):
+            self._cts_owner = next_owner
             penalty = self.config.vector.cts_switch_penalty
             # The quantum starts once the hand-over drain completes, so a
             # penalty longer than the quantum cannot ping-pong ownership.
@@ -322,6 +382,7 @@ class CoProcessor:
         cycle: int,
         awake: Optional[List[bool]] = None,
         core_events: Optional[List[int]] = None,
+        active: Optional[List[int]] = None,
     ) -> int:
         vector = self.config.vector
         dispatched = 0
@@ -338,7 +399,10 @@ class CoProcessor:
                 # (in place, through the shared ``awake`` list) before
                 # dispatching.
                 self.wake_all_hook(cycle)
-            for core in range(self.config.num_cores):
+            # The mid-cycle wake mutates ``active`` in place (via the
+            # machine's settle path), so read it only afterwards.
+            cores = active if active is not None else range(self.config.num_cores)
+            for core in cores:
                 if awake is not None and not awake[core]:
                     continue
                 if core == owner:
@@ -360,19 +424,23 @@ class CoProcessor:
                 "compute": vector.compute_issue_width,
                 "ldst": vector.ldst_issue_width,
             }
-            budgets = [shared_budget] * self.config.num_cores
         else:
-            budgets = [
-                {
+            shared_budget = None
+        for core in self._core_order(active):
+            if awake is not None and not awake[core]:
+                continue
+            # Spatial modes get a fresh per-core budget, built lazily so a
+            # mostly-idle wide machine does not allocate ``num_cores`` dicts
+            # every cycle; temporal sharing keeps the one shared budget.
+            budget = (
+                shared_budget
+                if shared_budget is not None
+                else {
                     "compute": vector.compute_issue_width,
                     "ldst": vector.ldst_issue_width,
                 }
-                for _ in range(self.config.num_cores)
-            ]
-        for core in self._core_order():
-            if awake is not None and not awake[core]:
-                continue
-            issued = self._dispatch_entrypoint(core, budgets[core], cycle)
+            )
+            issued = self._dispatch_entrypoint(core, budget, cycle)
             if core_events is not None:
                 core_events[core] += issued
             dispatched += issued

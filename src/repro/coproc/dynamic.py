@@ -113,6 +113,11 @@ class InstructionPool:
         self._ready_seqs: List[int] = []
         self._waiting_seqs: List[int] = []
         self._emsimd_seqs: Deque[int] = deque()
+        #: Optional ``(core_id, busy)`` callback fired on every 0↔non-zero
+        #: occupancy transition (and idempotently on restore), so the
+        #: co-processor can keep a busy-pool set instead of scanning every
+        #: pool per cycle for CTS arbitration.
+        self.on_occupancy = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -131,6 +136,8 @@ class InstructionPool:
             raise SimulationError(f"core {self.core_id}: pool overflow")
         self._entries.append(entry)
         self.transmitted += 1
+        if self.on_occupancy is not None and len(self._entries) == 1:
+            self.on_occupancy(self.core_id, True)
         if self._indexed and not self._dirty:
             self._by_seq[entry.seq] = entry
             if entry.is_emsimd:
@@ -186,6 +193,8 @@ class InstructionPool:
                 break
             committed.append(self._entries.pop(0))
         self.committed += len(committed)
+        if committed and not self._entries and self.on_occupancy is not None:
+            self.on_occupancy(self.core_id, False)
         if committed and self._indexed and not self._dirty:
             for entry in committed:
                 self._by_seq.pop(entry.seq, None)
@@ -218,6 +227,8 @@ class InstructionPool:
         committed = entries[:count]
         del entries[:count]
         self.committed += count
+        if not entries and self.on_occupancy is not None:
+            self.on_occupancy(self.core_id, False)
         if self._indexed and not self._dirty:
             for entry in committed:
                 self._by_seq.pop(entry.seq, None)
@@ -243,7 +254,10 @@ class InstructionPool:
         checks — the template already proved them) and invalidate the index."""
         self._dirty = True
         self.committed += 1
-        return self._entries.pop(0)
+        entry = self._entries.pop(0)
+        if not self._entries and self.on_occupancy is not None:
+            self.on_occupancy(self.core_id, False)
+        return entry
 
     def on_issue(self, entry: DynamicInstruction, cycle: int) -> bool:
         """Notify the index that ``entry`` moved WAITING→ISSUED with its
@@ -395,6 +409,10 @@ class InstructionPool:
         """Rewind to a :meth:`snapshot` (aborted speculative execution)."""
         entries, fields, transmitted, committed = snap
         self._entries = list(entries)
+        if self.on_occupancy is not None:
+            # Idempotent: the busy-set callback adds/discards, so simply
+            # reasserting the restored occupancy is always correct.
+            self.on_occupancy(self.core_id, bool(self._entries))
         for entry, (state, complete_cycle, holds) in zip(self._entries, fields):
             entry.state = state
             entry.complete_cycle = complete_cycle

@@ -51,6 +51,11 @@ class LaneTable:
         self._free: List[int] = list(range(total_lanes))
         #: core -> ascending indices of the lanes it owns.
         self._owned: Dict[int, List[int]] = {}
+        #: core -> owned-lane count, maintained incrementally alongside
+        #: ``_owned`` (sharded bookkeeping: O(1) per-owner census without
+        #: touching the index lists; pinned against :meth:`scan_counters`
+        #: by a property test).
+        self._owner_counts: Dict[int, int] = {}
         self.reconfigurations = 0
         #: Runtime invariant auditor (``REPRO_AUDIT``); when set, every
         #: reconfiguration re-checks lane conservation and index agreement.
@@ -83,6 +88,7 @@ class LaneTable:
         if lanes < 0:
             raise ProtocolError("cannot assign a negative lane count")
         released = self._owned.pop(core, [])
+        self._owner_counts.pop(core, None)
         for index in released:
             self._lanes[index].owner = FREE
         if released:
@@ -98,9 +104,33 @@ class LaneTable:
             self._lanes[index].owner = core
         if claimed:
             self._owned[core] = claimed
+            self._owner_counts[core] = len(claimed)
         self.reconfigurations += 1
         if self.auditor is not None:
             self.auditor.on_lane_table(self)
+
+    def counters(self) -> Dict[Optional[int], int]:
+        """The incrementally maintained per-owner census.
+
+        Maps each owning core to its lane count, with :data:`FREE` (None)
+        mapping to the free-lane count.  O(owners) — never scans the lanes.
+        """
+        census: Dict[Optional[int], int] = dict(self._owner_counts)
+        census[FREE] = len(self._free)
+        return census
+
+    def scan_counters(self) -> Dict[Optional[int], int]:
+        """Per-owner census recomputed from the per-lane ground truth.
+
+        The from-scratch O(total_lanes) scan the property tests pin
+        :meth:`counters` against.
+        """
+        census: Dict[Optional[int], int] = {FREE: 0}
+        for bu in self._lanes:
+            census[bu.owner] = census.get(bu.owner, 0) + 1
+        if census[FREE] == 0 and self._free:  # pragma: no cover - defensive
+            raise ProtocolError("free list disagrees with lane owners")
+        return census
 
     @staticmethod
     def _merge_sorted(left: List[int], right: List[int]) -> List[int]:

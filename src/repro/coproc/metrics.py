@@ -92,11 +92,19 @@ class Metrics:
         #: fingerprint (it describes the engine, not the machine).
         self.sleep_series = [BucketSeries(bucket_cycles) for _ in range(num_cores)]
         self.total_cycles = 0
-        #: Per-cycle event journal used by the idle-cycle fast-forward:
-        #: when armed (a list), stall/overhead increments of the current
-        #: cycle are recorded so :meth:`replay_idle_cycles` can repeat them
-        #: for skipped cycles bit-for-bit.
-        self._idle_log: Optional[List[Tuple[str, int, object]]] = None
+        #: Per-cycle event journal used by the idle-cycle fast-forward and
+        #: the tickless scheduler's sleep capture.  Sharded per core so
+        #: settling a component's slept span reads only that core's entries
+        #: (O(its events), not O(all cores' events)).  Epoch stamps make the
+        #: per-cycle reset O(1): :meth:`begin_idle_cycle` bumps the epoch and
+        #: a core's list is lazily cleared on its first append of the cycle.
+        self._journal_armed = False
+        self._journal_epoch = 0
+        self._journal_stamp = [-1] * num_cores
+        self._journal: List[List[Tuple[str, int, object]]] = [
+            [] for _ in range(num_cores)
+        ]
+        self._journal_touched: List[int] = []
         #: Loop-replay template recorder (see :mod:`repro.core.replay`);
         #: when set, stall/overhead events are mirrored into the template.
         self.recorder = None
@@ -162,8 +170,8 @@ class Metrics:
 
     def on_stall(self, core: int, reason: StallReason, cycle: int) -> None:
         self.stalls[core][reason] += 1
-        if self._idle_log is not None:
-            self._idle_log.append(("stall", core, reason))
+        if self._journal_armed:
+            self._journal_append(core, ("stall", core, reason))
         if self.recorder is not None:
             self.recorder.on_stall(core, reason)
 
@@ -193,12 +201,21 @@ class Metrics:
             self.monitor_cycles[core] += 1
         else:
             self.reconfig_cycles[core] += 1
-        if self._idle_log is not None:
-            self._idle_log.append(("overhead", core, kind))
+        if self._journal_armed:
+            self._journal_append(core, ("overhead", core, kind))
         if self.recorder is not None:
             self.recorder.on_overhead(core, kind)
 
     # --- idle-cycle fast-forward support ----------------------------------
+
+    def _journal_append(self, core: int, event: Tuple[str, int, object]) -> None:
+        """Record one armed-cycle event in ``core``'s journal shard."""
+        if self._journal_stamp[core] != self._journal_epoch:
+            self._journal_stamp[core] = self._journal_epoch
+            self._journal[core] = [event]
+            self._journal_touched.append(core)
+        else:
+            self._journal[core].append(event)
 
     def begin_idle_cycle(self) -> None:
         """Arm (and reset) the per-cycle event journal.
@@ -208,21 +225,54 @@ class Metrics:
         cycle the only metric mutations are stall attributions and EM-SIMD
         overhead cycles, both pure per-cycle counter increments; the journal
         captures exactly those so skipped idle cycles replay them verbatim.
+        Resetting is an epoch bump — no per-core work for cores that stay
+        silent this cycle.
         """
-        self._idle_log = []
+        self._journal_armed = True
+        self._journal_epoch += 1
+        self._journal_touched = []
+
+    def core_idle_events(self, core: int) -> Tuple[Tuple[str, int, object], ...]:
+        """The armed cycle's journal entries attributed to ``core``.
+
+        Used by the tickless scheduler to capture, at the cycle a component
+        goes to sleep, exactly the increments that component repeats every
+        slept cycle.  O(that core's events): the journal is sharded per
+        core, so no scan over other cores' entries.
+        """
+        if not self._journal_armed or self._journal_stamp[core] != self._journal_epoch:
+            return ()
+        return tuple(self._journal[core])
 
     def replay_idle_cycles(self, times: int) -> None:
         """Repeat the just-journalled idle cycle's increments ``times`` more
         times — the accounting for cycles elided by the fast-forward."""
-        if times <= 0 or not self._idle_log:
+        if times <= 0 or not self._journal_armed:
             return
-        for kind, core, what in self._idle_log:
-            if kind == "stall":
-                self.stalls[core][what] += times
-            elif what == "monitor":
-                self.monitor_cycles[core] += times
-            else:
-                self.reconfig_cycles[core] += times
+        for core in self._journal_touched:
+            for kind, _core, what in self._journal[core]:
+                if kind == "stall":
+                    self.stalls[core][what] += times
+                elif what == "monitor":
+                    self.monitor_cycles[core] += times
+                else:
+                    self.reconfig_cycles[core] += times
+
+    def mirror_core_idle_events(
+        self, events: Tuple[Tuple[str, int, object], ...]
+    ) -> None:
+        """Re-journal already-settled events into the armed cycle.
+
+        A mid-cycle wake settles a sleeper's span through
+        :meth:`replay_core_idle_cycles`; those same increments also belong
+        to the *current* armed cycle's journal so a subsequent fast-forward
+        or sleep capture sees them, exactly as if they had been recorded
+        live by :meth:`on_stall`/:meth:`on_overhead_cycle`.
+        """
+        if not self._journal_armed:
+            return
+        for event in events:
+            self._journal_append(event[1], event)
 
     def replay_core_idle_cycles(
         self, events: Tuple[Tuple[str, int, object], ...], times: int

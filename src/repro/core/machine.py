@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 import os
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -52,6 +53,20 @@ def default_event_wheel() -> bool:
     switch exists for the differential-fuzz engine matrix and debugging.
     """
     return not os.environ.get("REPRO_NO_EVENT_WHEEL")
+
+
+def default_hier_wheel() -> bool:
+    """Whether the tickless engine uses the hierarchical wake index.
+
+    On unless ``REPRO_NO_HIER_WHEEL`` is set (to any non-empty value).
+    The hierarchical wheel groups components into complexes under a
+    top-level heap and keeps an *active list* of awake live cores so every
+    per-cycle loop costs O(components with work), not O(num_cores).  It is
+    bit-identical to the flat :class:`~repro.core.scheduling.EventWheel`
+    path; the kill switch exists for the differential-fuzz engine matrix.
+    Only meaningful when the event wheel itself is enabled.
+    """
+    return not os.environ.get("REPRO_NO_HIER_WHEEL")
 
 
 @dataclass
@@ -102,6 +117,7 @@ class Machine:
         audit: Optional[bool] = None,
         event_wheel: Optional[bool] = None,
         batch_exec: Optional[bool] = None,
+        hier_wheel: Optional[bool] = None,
     ) -> None:
         if len(jobs) != config.num_cores:
             raise SimulationError(
@@ -130,6 +146,11 @@ class Machine:
         self._batch_exec = (
             default_batch_exec() if batch_exec is None else batch_exec
         )
+        #: Hierarchical wake-index switch (``REPRO_NO_HIER_WHEEL``); only
+        #: active on top of the event wheel.
+        self._hier_wheel = (
+            default_hier_wheel() if hier_wheel is None else hier_wheel
+        ) and self._event_wheel
         self.coproc = CoProcessor(
             config,
             policy.mode,
@@ -150,6 +171,9 @@ class Machine:
             ()
         ] * num_cores
         self._wheel = None
+        #: Sorted list of awake live cores (hierarchical-wheel mode only);
+        #: ``None`` under the flat wheel and the reference engine.
+        self._active: Optional[List[int]] = None
         self._comp_busy: List[int] = [0] * num_cores
         self._comp_idle: List[int] = [0] * num_cores
         self._comp_asleep: List[int] = [0] * num_cores
@@ -381,19 +405,21 @@ class Machine:
         or replays.  Bit-identical to :meth:`_run_reference` (the
         differential fuzzer diffs the two engines).
         """
-        from repro.core.scheduling import EventWheel
+        from repro.core.scheduling import EventWheel, HierarchicalEventWheel
 
         num_cores = self.config.num_cores
         metrics = self.metrics
         coproc = self.coproc
-        wheel = EventWheel()
+        wheel = HierarchicalEventWheel() if self._hier_wheel else EventWheel()
         self._wheel = wheel
         awake = self._awake
-        self._live_count = sum(
-            1
+        live = [
+            core_id
             for core_id, core in enumerate(self.cores)
             if core is not None and not self._done[core_id]
-        )
+        ]
+        self._live_count = len(live)
+        self._active = live if self._hier_wheel else None
         sleep_allowed = coproc.mode is not SharingMode.TEMPORAL
         coproc.wake_all_hook = self._wake_all_mid_cycle
         core_events = [0] * num_cores
@@ -458,8 +484,11 @@ class Machine:
                         # reference engine would.
                         cycle = self._fast_forward(cycle, last_progress, max_cycles)
                 if sleep_allowed and (replay is None or not replay.engaged):
-                    journal = metrics._idle_log or ()
-                    for component in range(num_cores):
+                    active = self._active
+                    candidates = (
+                        range(num_cores) if active is None else tuple(active)
+                    )
+                    for component in candidates:
                         if (
                             not awake[component]
                             or self._done[component]
@@ -473,9 +502,11 @@ class Machine:
                         awake[component] = False
                         self._asleep_count += 1
                         self._sleep_from[component] = cycle + 1
-                        self._sleep_events[component] = tuple(
-                            event for event in journal if event[1] == component
+                        self._sleep_events[component] = metrics.core_idle_events(
+                            component
                         )
+                        if active is not None:
+                            active.remove(component)
                         if wake is not None:
                             wheel.schedule(component, wake)
                 cycle += 1
@@ -485,20 +516,46 @@ class Machine:
         return cycle
 
     def _step_wheel(self, cycle: int, core_events: List[int]) -> int:
-        """One tickless cycle: step only awake components."""
+        """One tickless cycle: step only awake components.
+
+        With the hierarchical wheel the three per-core loops walk the
+        sorted active list instead of every core slot, so a cycle costs
+        O(awake components); ``core_events`` is still reset for *all* slots
+        because a mid-cycle CTS wake can re-activate a sleeper whose entry
+        must read zero.  The active list is mutated in place by done
+        detection here and by :meth:`_settle` on mid-cycle wakes, so both
+        post-dispatch loops walk snapshots.
+        """
         awake = self._awake
+        active = self._active
         for component in range(len(core_events)):
             core_events[component] = 0
         progress = 0
-        for core_id, core in enumerate(self.cores):
-            if core is not None and not self._done[core_id] and awake[core_id]:
-                retired = core.step(cycle)
-                core_events[core_id] += retired
-                progress += retired
-        progress += self.coproc.step(cycle, awake, core_events)
-        for core_id, core in enumerate(self.cores):
-            if core is None or self._done[core_id] or not awake[core_id]:
-                continue
+        cores = self.cores
+        if active is None:
+            stepping = [
+                core_id
+                for core_id, core in enumerate(cores)
+                if core is not None and not self._done[core_id] and awake[core_id]
+            ]
+        else:
+            stepping = active
+        for core_id in stepping:
+            retired = cores[core_id].step(cycle)
+            core_events[core_id] += retired
+            progress += retired
+        progress += self.coproc.step(cycle, awake, core_events, active)
+        checklist = (
+            tuple(active)
+            if active is not None
+            else tuple(
+                core_id
+                for core_id, core in enumerate(cores)
+                if core is not None and not self._done[core_id] and awake[core_id]
+            )
+        )
+        for core_id in checklist:
+            core = cores[core_id]
             if core.halted and self.coproc.drained(core_id):
                 self._done[core_id] = True
                 self.metrics.on_core_done(core_id, cycle)
@@ -506,10 +563,12 @@ class Machine:
                 if self._loop_recorder is not None:
                     self._loop_recorder.on_core_done()
                 self._live_count -= 1
+                if active is not None:
+                    active.remove(core_id)
                 core_events[core_id] += 1
                 progress += 1
-        for core_id, core in enumerate(self.cores):
-            if core is None or self._done[core_id] or not awake[core_id]:
+        for core_id in checklist:
+            if self._done[core_id]:
                 continue
             if core_events[core_id]:
                 self._comp_busy[core_id] += 1
@@ -570,6 +629,8 @@ class Machine:
             self._comp_asleep[component] += slept
         self._awake[component] = True
         self._asleep_count -= 1
+        if self._active is not None:
+            insort(self._active, component)
         if self._wheel is not None:
             self._wheel.cancel(component)
 
@@ -600,8 +661,7 @@ class Machine:
                 # journal: if the component goes back to sleep at the end
                 # of this very cycle, its frozen journal must include the
                 # scalar-phase overhead it keeps incurring.
-                if self.metrics._idle_log is not None:
-                    self.metrics._idle_log.extend(overhead)
+                self.metrics.mirror_core_idle_events(overhead)
 
 
 def run_policy(
@@ -614,8 +674,15 @@ def run_policy(
     audit: Optional[bool] = None,
     event_wheel: Optional[bool] = None,
     batch_exec: Optional[bool] = None,
+    hier_wheel: Optional[bool] = None,
 ) -> RunResult:
     """Convenience wrapper: build a machine and run it."""
     return Machine(
-        config, policy, jobs, audit=audit, event_wheel=event_wheel, batch_exec=batch_exec
+        config,
+        policy,
+        jobs,
+        audit=audit,
+        event_wheel=event_wheel,
+        batch_exec=batch_exec,
+        hier_wheel=hier_wheel,
     ).run(max_cycles=max_cycles, fast_forward=fast_forward, fast_path=fast_path)

@@ -17,7 +17,9 @@ running workload receives at least one lane.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+import os
+from functools import lru_cache
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.core.roofline import RooflineModel
@@ -27,17 +29,100 @@ from repro.isa.registers import OIValue
 GAIN_EPSILON = 1e-9
 
 
+def default_lane_shards() -> bool:
+    """Whether the sharded lane-bookkeeping fast paths are on by default.
+
+    On unless ``REPRO_NO_LANE_SHARDS`` is set (to any non-empty value).
+    Covers the bulk-round greedy partition below, the co-processor's
+    busy-pool set for CTS arbitration and the lane table's per-owner
+    counters — all bit-identical to the scanning reference paths; the kill
+    switch exists for the differential-fuzz engine matrix.
+    """
+    return not os.environ.get("REPRO_NO_LANE_SHARDS")
+
+
+@lru_cache(maxsize=4096)
+def _gain_profile(
+    roofline: RooflineModel, oi: OIValue
+) -> Tuple[Tuple[float, ...], int]:
+    """Marginal-gain profile of one phase: ``(gains, cap)``.
+
+    ``gains[l]`` is Eq. 3's net gain of growing from ``l`` to ``l+1`` lanes
+    — the exact floats the reference rounds recompute every repartition.
+    ``attainable`` is the minimum of two linear-through-origin ceilings and
+    a constant, hence concave in the lane count, so the gains are
+    non-increasing and the profitable lane counts form a prefix: ``cap`` is
+    the smallest count at which another lane stops paying (bounded by
+    ``max_lanes``), and a core is grant-eligible iff ``plan < cap``.
+    Both key types are frozen dataclasses, so profiles memoise across every
+    repartition of a run *and* across co-runs sharing a roofline.
+    """
+    gains = tuple(
+        roofline.net_gain(lanes, oi) for lanes in range(roofline.max_lanes)
+    )
+    cap = roofline.max_lanes
+    for lanes in range(1, roofline.max_lanes):
+        if gains[lanes] <= GAIN_EPSILON:
+            cap = lanes
+            break
+    return gains, cap
+
+
+def _greedy_bulk(
+    active: Dict[int, OIValue],
+    plan: Dict[int, int],
+    remaining: int,
+    roofline: RooflineModel,
+) -> Dict[int, int]:
+    """Bulk-round equivalent of the reference round loop.
+
+    The reference grants one lane per round to every positive-gain core in
+    ``(-gain, core)`` order.  Because each core's gains are non-increasing
+    (see :func:`_gain_profile`) the eligible set only shrinks, so ``r``
+    consecutive full rounds — while every eligible core keeps headroom and
+    lanes remain for everyone — hand exactly ``r`` lanes to each eligible
+    core regardless of order, collapsible into one bulk grant.  Only the
+    final partial round (fewer lanes left than eligible cores) depends on
+    the sort order, and it is replayed literally with the memoised gains.
+    """
+    profiles = {core: _gain_profile(roofline, active[core]) for core in active}
+    while remaining > 0:
+        eligible = [core for core in active if plan[core] < profiles[core][1]]
+        if not eligible:
+            break
+        count = len(eligible)
+        if remaining < count:
+            order = sorted(
+                (-profiles[core][0][plan[core]], core) for core in eligible
+            )
+            for _key, core in order[:remaining]:
+                plan[core] += 1
+            break
+        step = remaining // count
+        for core in eligible:
+            headroom = profiles[core][1] - plan[core]
+            if headroom < step:
+                step = headroom
+        for core in eligible:
+            plan[core] += step
+        remaining -= step * count
+    return plan
+
+
 def greedy_partition(
     demands: Mapping[int, OIValue],
     total_lanes: int,
     roofline: RooflineModel,
+    sharded: Optional[bool] = None,
 ) -> Dict[int, int]:
     """Partition ``total_lanes`` ExeBUs across the running phases.
 
     ``demands`` maps core id -> the OI of the phase it is executing; cores
     without a running phase must not appear.  Returns core id -> lane count.
     Raises when more phases run than lanes exist (cannot satisfy the
-    one-lane-minimum constraint of Eq. 1).
+    one-lane-minimum constraint of Eq. 1).  ``sharded`` selects the
+    bulk-round fast path (default :func:`default_lane_shards`), bit-identical
+    to the lane-by-lane reference rounds below.
     """
     active = {core: oi for core, oi in demands.items() if not oi.is_phase_end}
     if not active:
@@ -50,6 +135,9 @@ def greedy_partition(
     # Step 1: one ExeBU per running workload.
     plan: Dict[int, int] = {core: 1 for core in active}
     remaining = total_lanes - len(active)
+
+    if default_lane_shards() if sharded is None else sharded:
+        return _greedy_bulk(active, plan, remaining, roofline)
 
     # Step 2: rounds of marginal-gain allocation.
     while remaining > 0:

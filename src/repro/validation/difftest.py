@@ -1,20 +1,24 @@
 """Cross-engine differential fuzzing (``python -m repro diff-fuzz``).
 
-The simulator can execute one program thirty-two ways: the scalar cores
+The simulator can execute one program ninety-six ways: the scalar cores
 run either the seed interpreter or the pre-decoded dispatch table
 (``REPRO_NO_PRE_DECODE``), idle stretches are either stepped or
 fast-forwarded (``fast_forward``), steady loops are either stepped or
 replayed from verified templates (``fast_path``), the run loop is either
 the reference every-cycle tick or the tickless event wheel with ready-set
-dispatch indexing (``REPRO_NO_EVENT_WHEEL``), and the co-processor
-dispatches either per-uop or through the opcode-grouped batch-execute
-backend (``REPRO_NO_BATCH_EXEC``).  All thirty-two are promised
-bit-identical.  This module generates randomized multi-phase co-running
-programs, runs each through every engine combination under every sharing
-mode, and diffs the complete run fingerprint (architectural memory state,
-metrics, lane timelines, stalls, phase records, cycle counts) against the
-seed engine — the ECM-style model-validation loop turned on the simulator
-itself.
+dispatch indexing (``REPRO_NO_EVENT_WHEEL``), the co-processor dispatches
+either per-uop or through the opcode-grouped batch-execute backend
+(``REPRO_NO_BATCH_EXEC``), the tickless wheel optionally upgrades to the
+hierarchical wake index with active-list iteration
+(``REPRO_NO_HIER_WHEEL``, meaningful only on top of the event wheel), and
+the lane bookkeeping is either scanning or sharded — bulk-round greedy
+partition, busy-pool CTS arbitration, per-owner lane counters
+(``REPRO_NO_LANE_SHARDS``).  All ninety-six are promised bit-identical.
+This module generates randomized multi-phase co-running programs, runs
+each through every engine combination under every sharing mode, and diffs
+the complete run fingerprint (architectural memory state, metrics, lane
+timelines, stalls, phase records, cycle counts) against the seed engine —
+the ECM-style model-validation loop turned on the simulator itself.
 
 Cases are described by :class:`CaseSpec`, an explicit per-phase
 instruction mix (not an opaque RNG trace), so the shrinker in
@@ -58,13 +62,15 @@ RESIDENT_TRIPS = (96, 160, 256)
 
 @dataclass(frozen=True)
 class EngineSpec:
-    """One of the thirty-two engine combinations."""
+    """One of the ninety-six engine combinations."""
 
     pre_decode: bool
     fast_forward: bool
     fast_path: bool
     event_wheel: bool = False
     batch_exec: bool = False
+    hier_wheel: bool = False
+    lane_shards: bool = False
 
     @property
     def label(self) -> str:
@@ -79,6 +85,10 @@ class EngineSpec:
             parts.append("wheel")
         if self.batch_exec:
             parts.append("batch")
+        if self.hier_wheel:
+            parts.append("hier")
+        if self.lane_shards:
+            parts.append("shards")
         return "+".join(parts) if parts else "interp"
 
 
@@ -92,22 +102,59 @@ ENGINE_KILL_SWITCH_ENV: Dict[str, str] = {
     "fast_path": "REPRO_NO_LOOP_REPLAY",
     "event_wheel": "REPRO_NO_EVENT_WHEEL",
     "batch_exec": "REPRO_NO_BATCH_EXEC",
+    "hier_wheel": "REPRO_NO_HIER_WHEEL",
+    "lane_shards": "REPRO_NO_LANE_SHARDS",
 }
 
 #: The seed engine: interpreter, cycle by cycle, no replay, no wheel,
-#: per-uop dispatch.
+#: per-uop dispatch, scanning lane bookkeeping.
 BASELINE_ENGINE = EngineSpec(pre_decode=False, fast_forward=False, fast_path=False)
 
-#: Every non-baseline combination, cheapest first.
+#: Every *valid* non-baseline combination, cheapest first.  The
+#: hierarchical wheel rides on top of the event wheel — ``hier_wheel``
+#: without ``event_wheel`` is latched off at construction, so those
+#: duplicate combinations are excluded rather than fuzzed twice.
 FAST_ENGINES: Tuple[EngineSpec, ...] = tuple(
-    EngineSpec(pre_decode, fast_forward, fast_path, event_wheel, batch_exec)
+    EngineSpec(
+        pre_decode,
+        fast_forward,
+        fast_path,
+        event_wheel,
+        batch_exec,
+        hier_wheel,
+        lane_shards,
+    )
+    for lane_shards in (False, True)
+    for hier_wheel in (False, True)
     for batch_exec in (False, True)
     for event_wheel in (False, True)
     for pre_decode in (False, True)
     for fast_forward in (False, True)
     for fast_path in (False, True)
-    if (pre_decode, fast_forward, fast_path, event_wheel, batch_exec)
-    != (False, False, False, False, False)
+    if (event_wheel or not hier_wheel)
+    and any(
+        (
+            pre_decode,
+            fast_forward,
+            fast_path,
+            event_wheel,
+            batch_exec,
+            hier_wheel,
+            lane_shards,
+        )
+    )
+)
+
+#: Curated engine subset for expensive sweeps (e.g. the 16-core diff-fuzz
+#: CI smoke): the seed-adjacent extremes plus each new axis isolated and
+#: ablated from the everything-on stack.
+KEY_ENGINES: Tuple[EngineSpec, ...] = (
+    EngineSpec(True, True, True, True, True, True, True),  # everything on
+    EngineSpec(True, True, True, True, True, False, False),  # pre-PR-9 stack
+    EngineSpec(False, False, False, True, False, True, False),  # hier wheel alone
+    EngineSpec(False, False, False, False, False, False, True),  # shards alone
+    EngineSpec(True, True, True, True, True, True, False),  # all minus shards
+    EngineSpec(True, True, True, True, True, False, True),  # all minus hier
 )
 
 
@@ -173,20 +220,22 @@ class Divergence:
 # --- case generation --------------------------------------------------------
 
 
-def generate_case(seed: int) -> CaseSpec:
+def generate_case(seed: int, num_cores: int = 2) -> CaseSpec:
     """Draw one deterministic random case.
 
-    Core 0 leans memory-intensive and core 1 compute-intensive (the
-    paper's pairing), with enough probability mass on the flipped and
-    mixed shapes that same-class co-runners and multi-phase workloads are
-    exercised too.
+    Even cores lean memory-intensive and odd cores compute-intensive (the
+    paper's pairing, tiled across wider machines), with enough probability
+    mass on the flipped and mixed shapes that same-class co-runners and
+    multi-phase workloads are exercised too.  For ``num_cores=2`` the draw
+    sequence is byte-identical to the historical two-core generator, so
+    existing regression seeds keep reproducing the same cases.
     """
     rng = random.Random(seed)
     cores: List[Tuple[PhaseSpec, ...]] = []
-    for core in range(2):
+    for core in range(num_cores):
         phases: List[PhaseSpec] = []
         for _ in range(rng.randint(1, 2)):
-            streaming = rng.random() < (0.75 if core == 0 else 0.3)
+            streaming = rng.random() < (0.75 if core % 2 == 0 else 0.3)
             if streaming:
                 oi = round(rng.uniform(*MEMORY_OI_RANGE), 3)
                 counts = solve_counts(oi, min_footprint=3)
@@ -248,9 +297,17 @@ def case_kernels(spec: CaseSpec) -> List[Optional[Kernel]]:
 
 #: Engine axes selected through the environment at construction time:
 #: ``REPRO_NO_PRE_DECODE`` is read at ``ScalarCore`` construction,
-#: ``REPRO_NO_EVENT_WHEEL`` and ``REPRO_NO_BATCH_EXEC`` at ``Machine``
-#: construction.  (``fast_forward``/``fast_path`` are ``run()`` arguments.)
-_CONSTRUCTION_AXES: Tuple[str, ...] = ("pre_decode", "event_wheel", "batch_exec")
+#: ``REPRO_NO_EVENT_WHEEL``, ``REPRO_NO_BATCH_EXEC`` and
+#: ``REPRO_NO_HIER_WHEEL`` at ``Machine`` construction, and
+#: ``REPRO_NO_LANE_SHARDS`` at ``CoProcessor``/lane-manager construction.
+#: (``fast_forward``/``fast_path`` are ``run()`` arguments.)
+_CONSTRUCTION_AXES: Tuple[str, ...] = (
+    "pre_decode",
+    "event_wheel",
+    "batch_exec",
+    "hier_wheel",
+    "lane_shards",
+)
 
 
 @contextmanager
@@ -389,14 +446,19 @@ def fuzz_seeds(
     max_cycles: int = 3_000_000,
     audit: Optional[bool] = None,
     progress: Optional[Callable[[str], None]] = None,
+    num_cores: int = 2,
 ) -> FuzzReport:
-    """Run :func:`check_case` over ``seeds``; collect every divergence."""
+    """Run :func:`check_case` over ``seeds``; collect every divergence.
+
+    ``num_cores`` widens the generated co-runs (and, when no explicit
+    ``config`` is given, the machine) — the N-core smoke lever.
+    """
     if config is None:
-        config = experiment_config()
+        config = experiment_config(num_cores)
     divergences: List[Divergence] = []
     runs_per_case = len(policies) * (len(engines) + 1)
     for index, seed in enumerate(seeds):
-        spec = generate_case(seed)
+        spec = generate_case(seed, num_cores)
         found = check_case(spec, policies, engines, config, max_cycles, audit)
         divergences.extend(found)
         if progress is not None and ((index + 1) % 10 == 0 or found):

@@ -69,6 +69,24 @@ class TestScaling:
         assert config.frequency_ghz == 3.0
         assert config.num_cores == 2
 
+    def test_scale_to_larger_sweep_sizes(self):
+        for num_cores in (8, 16, 32):
+            config = table4_config().scaled_to_cores(num_cores)
+            assert config.num_cores == num_cores
+            assert config.lanes_per_core_private == 16
+
+    def test_indivisible_lane_pool_rejected_with_both_values(self):
+        # __post_init__ already rejects indivisible configs, so forge one
+        # (as a corrupted/monkeypatched config would) to prove the scaling
+        # path refuses to truncate rather than silently shrinking the
+        # per-core lane budget.
+        config = table4_config()
+        object.__setattr__(config, "num_cores", 3)
+        with pytest.raises(ConfigurationError) as excinfo:
+            config.scaled_to_cores(8)
+        assert "32" in str(excinfo.value)
+        assert "3" in str(excinfo.value)
+
 
 class TestValidation:
     def test_cache_size_must_divide(self):

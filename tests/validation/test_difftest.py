@@ -32,12 +32,26 @@ class TestGeneration:
             assert any(program is not None for program in compiled.programs)
 
     def test_engine_matrix_is_complete(self):
-        # 2^5 combinations: baseline plus thirty-one fast variants, no dupes.
-        assert len(FAST_ENGINES) == 31
+        # 2^7 combinations minus the 32 hier-without-wheel duplicates and
+        # the baseline: ninety-five fast variants, no dupes.
+        assert len(FAST_ENGINES) == 95
         assert BASELINE_ENGINE not in FAST_ENGINES
-        assert len(set(FAST_ENGINES)) == 31
-        assert sum(1 for engine in FAST_ENGINES if engine.event_wheel) == 16
-        assert sum(1 for engine in FAST_ENGINES if engine.batch_exec) == 16
+        assert len(set(FAST_ENGINES)) == 95
+        assert sum(1 for engine in FAST_ENGINES if engine.event_wheel) == 64
+        assert sum(1 for engine in FAST_ENGINES if engine.batch_exec) == 48
+        assert sum(1 for engine in FAST_ENGINES if engine.hier_wheel) == 32
+        assert sum(1 for engine in FAST_ENGINES if engine.lane_shards) == 48
+        # The hierarchical wheel only exists on top of the event wheel.
+        assert all(
+            engine.event_wheel for engine in FAST_ENGINES if engine.hier_wheel
+        )
+
+    def test_key_engines_are_valid_matrix_members(self):
+        from repro.validation.difftest import KEY_ENGINES
+
+        assert len(set(KEY_ENGINES)) == len(KEY_ENGINES)
+        for engine in KEY_ENGINES:
+            assert engine in FAST_ENGINES
 
     def test_default_policies_cover_every_sharing_mode(self):
         from repro.core.policies import POLICIES_BY_KEY
