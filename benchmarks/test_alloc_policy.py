@@ -1,0 +1,111 @@
+"""Symbiosis-aware allocation: the 16-core pairing win/loss gate.
+
+The blended metric is the per-thread geomean of drain cycles across the
+whole machine (the co-scheduling literature's geomean-of-per-thread-
+performance, inverted to cycles): lower is better, and packing two
+bandwidth-hungry threads into one complex hurts it even when the other
+complexes finish early.
+
+The gate pins the win/loss story the allocation subsystem exists for, on
+the tiled Fig. 16 blend at 16 cores under occamy sharing:
+
+* ``symbiosis`` (ECM-prior compatibility matrix + max-weight matching)
+  must beat the seeded ``random`` baseline by at least ``MIN_MARGIN``;
+* ``--calibrate`` (matrix entries measured by short micro co-runs through
+  the result cache) must hold the same margin;
+* ``oi-pack`` (pack similar OI together) must stay the losing bound —
+  at least ``MIN_MARGIN`` *worse* than random.
+
+Placement is a pure pre-simulation decision, so every complex's
+simulation is shared across policies via the result cache — the sweep
+below simulates each distinct pair once.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import banner, record_bench, run_once
+from repro.analysis.experiments import alloc_outcome
+
+CORES = 16
+SCALE = 0.2
+#: The CI-gated relative margin on the blended geomean, both directions.
+MIN_MARGIN = 0.03
+
+
+def test_alloc_policy_winloss(benchmark):
+    start = time.perf_counter()
+    random_outcome = alloc_outcome(CORES, "random", scale=SCALE)
+    random_seconds = time.perf_counter() - start
+    random_geo = random_outcome.geomean_cycles()
+
+    def symbiosis():
+        return alloc_outcome(CORES, "symbiosis", scale=SCALE)
+
+    start = time.perf_counter()
+    symbiosis_outcome = run_once(benchmark, symbiosis)
+    symbiosis_seconds = time.perf_counter() - start
+    symbiosis_geo = symbiosis_outcome.geomean_cycles()
+
+    pack_geo = alloc_outcome(CORES, "oi-pack", scale=SCALE).geomean_cycles()
+    balance_geo = alloc_outcome(CORES, "oi-balance", scale=SCALE).geomean_cycles()
+    start = time.perf_counter()
+    calibrated = alloc_outcome(CORES, "symbiosis", scale=SCALE, calibrate=True)
+    calib_seconds = time.perf_counter() - start
+    calib_geo = calibrated.geomean_cycles()
+
+    gain = random_geo / symbiosis_geo
+
+    banner(f"Thread-to-core allocation — {CORES} cores, occamy, scale {SCALE}")
+    print(f"{'policy':<22}{'geomean cycles':>16}{'vs random':>12}")
+    for label, geo in (
+        ("oi-pack (bound)", pack_geo),
+        ("random", random_geo),
+        ("oi-balance", balance_geo),
+        ("symbiosis (prior)", symbiosis_geo),
+        ("symbiosis --calibrate", calib_geo),
+    ):
+        print(f"{label:<22}{geo:>16.1f}{random_geo / geo - 1:>+11.1%}")
+    print(f"symbiosis pairing: {' '.join(symbiosis_outcome.pair_labels())}")
+    print(f"calibrated pairing: {' '.join(calibrated.pair_labels())}")
+    print(
+        f"gate: symbiosis >= {MIN_MARGIN:.0%} better than random, "
+        f"oi-pack >= {MIN_MARGIN:.0%} worse (calibration {calib_seconds:.1f}s)"
+    )
+
+    benchmark.extra_info["random_geomean"] = random_geo
+    benchmark.extra_info["symbiosis_geomean"] = symbiosis_geo
+    benchmark.extra_info["gain"] = gain
+    record_bench(
+        "alloc",
+        gain,
+        random_seconds,
+        symbiosis_seconds,
+        extra={
+            "num_cores": CORES,
+            "alloc_scale": SCALE,
+            "random_geomean": round(random_geo, 1),
+            "round_robin_geomean": round(
+                alloc_outcome(CORES, "round-robin", scale=SCALE).geomean_cycles(), 1
+            ),
+            "oi_balance_geomean": round(balance_geo, 1),
+            "oi_pack_geomean": round(pack_geo, 1),
+            "symbiosis_geomean": round(symbiosis_geo, 1),
+            "symbiosis_calibrated_geomean": round(calib_geo, 1),
+            "calibration_seconds": round(calib_seconds, 2),
+        },
+    )
+
+    assert symbiosis_geo <= random_geo * (1.0 - MIN_MARGIN), (
+        f"symbiosis {symbiosis_geo:.1f} must beat random {random_geo:.1f} "
+        f"by {MIN_MARGIN:.0%}"
+    )
+    assert calib_geo <= random_geo * (1.0 - MIN_MARGIN), (
+        f"calibrated symbiosis {calib_geo:.1f} must beat random "
+        f"{random_geo:.1f} by {MIN_MARGIN:.0%}"
+    )
+    assert pack_geo >= random_geo * (1.0 + MIN_MARGIN), (
+        f"oi-pack {pack_geo:.1f} must stay the losing bound vs random "
+        f"{random_geo:.1f}"
+    )

@@ -1,0 +1,91 @@
+"""Thread-to-core allocation: the pairing-policy subsystem.
+
+Decides *which* threads share a co-processor complex before the sharing
+policy (private/occamy/fts/cts) decides *how* they share it within the
+complex.  See ``docs/allocation.md`` and ROADMAP item 1.
+
+Public surface::
+
+    from repro.alloc import (
+        ALLOC_POLICIES_BY_KEY, ALLOC_POLICY_KEYS,
+        AllocContext, AllocationPolicy, Placement, ThreadSpec,
+        canonical_placement, placement_labels, validate_placement,
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.alloc.placement import (
+    DEFAULT_COMPLEX_SIZE,
+    Placement,
+    ThreadSpec,
+    canonical_placement,
+    num_complexes,
+    placement_labels,
+    thread_order,
+    validate_placement,
+)
+from repro.alloc.policies import (
+    AllocContext,
+    AllocationPolicy,
+    OiBalanceAllocation,
+    OiPackAllocation,
+    RandomAllocation,
+    RoundRobinAllocation,
+    thread_demand,
+)
+from repro.alloc.symbiosis import (
+    MatrixEntry,
+    SymbiosisAllocation,
+    SymbiosisMatrix,
+    build_matrix,
+    calibrate_matrix,
+    expected_random_matching_weight,
+    matching_weight,
+    solve_pairing,
+)
+
+#: The policy registry — one instance per family member, keyed by CLI name.
+ALLOC_POLICIES_BY_KEY: Dict[str, AllocationPolicy] = {
+    policy.key: policy
+    for policy in (
+        RandomAllocation(),
+        RoundRobinAllocation(),
+        OiBalanceAllocation(),
+        OiPackAllocation(),
+        SymbiosisAllocation(),
+    )
+}
+
+#: Registry order for sweeps and CLI ``--alloc all``.
+ALLOC_POLICY_KEYS: Tuple[str, ...] = tuple(ALLOC_POLICIES_BY_KEY)
+
+__all__ = [
+    "ALLOC_POLICIES_BY_KEY",
+    "ALLOC_POLICY_KEYS",
+    "AllocContext",
+    "AllocationPolicy",
+    "DEFAULT_COMPLEX_SIZE",
+    "MatrixEntry",
+    "OiBalanceAllocation",
+    "OiPackAllocation",
+    "Placement",
+    "RandomAllocation",
+    "RoundRobinAllocation",
+    "SymbiosisAllocation",
+    "SymbiosisMatrix",
+    "ThreadSpec",
+    "build_matrix",
+    "calibrate_matrix",
+    "canonical_placement",
+    "expected_random_matching_weight",
+    "matching_weight",
+    "num_complexes",
+    "placement_labels",
+    "solve_pairing",
+    "thread_demand",
+    "thread_order",
+    "validate_placement",
+]

@@ -187,6 +187,70 @@ def _ncore_section(outcomes: Sequence[object]) -> List[str]:
     ]
 
 
+def _alloc_section(
+    outcomes: Sequence[object], winloss: Sequence[object]
+) -> List[str]:
+    """Allocation geomean table plus the per-pair sharing win/loss table."""
+    rows = []
+    baselines: Dict[int, float] = {}
+    for outcome in outcomes:
+        if outcome.alloc_key == "random":
+            baselines[outcome.num_cores] = outcome.geomean_cycles()
+    for outcome in outcomes:
+        geo = outcome.geomean_cycles()
+        base = baselines.get(outcome.num_cores)
+        delta = "—" if not base else f"{100 * (geo - base) / base:+.1f}%"
+        rows.append(
+            [
+                outcome.num_cores,
+                outcome.alloc_key,
+                outcome.sharing_key,
+                f"{geo:.1f}",
+                delta,
+                " ".join(outcome.pair_labels()),
+            ]
+        )
+    lines = [
+        "## Thread-to-core allocation (per-thread geomean cycles)",
+        "",
+        _md_table(
+            ["cores", "allocation", "sharing", "geomean", "Δ vs random", "pairing"],
+            rows,
+        ),
+        "",
+        "Placement is decided before simulation (`repro alloc-sweep`); "
+        "each two-core complex then runs independently under the sharing "
+        "policy, so the same pair costs the same cycles under every "
+        "allocation policy.  Lower geomean is better; `oi-pack` is the "
+        "adversarial losing bound.",
+    ]
+    if winloss:
+        sharing_keys = sorted(winloss[0].cycles)
+        wl_rows: List[List[object]] = []
+        wins = {key: 0 for key in sharing_keys}
+        for row in winloss:
+            wins[row.winner] += 1
+            wl_rows.append(
+                [row.label]
+                + [row.cycles[key] for key in sharing_keys]
+                + [row.winner]
+            )
+        wl_rows.append(
+            ["**wins**"] + [wins[key] for key in sharing_keys] + ["—"]
+        )
+        lines += [
+            "",
+            "### Per-pair sharing-policy win/loss (symbiosis placement)",
+            "",
+            _md_table(["pair"] + sharing_keys + ["winner"], wl_rows),
+            "",
+            "Each row is one co-scheduled pair's total cycles under every "
+            "sharing policy; the winner column names the cheapest policy "
+            "for that pair.",
+        ]
+    return lines
+
+
 def _config_section(config: MachineConfig) -> List[str]:
     rows = [
         [key, value, unit] for key, (value, unit) in describe(config).items()
@@ -203,6 +267,8 @@ def render_report(
     validation: Optional[EcmValidation] = None,
     config: Optional[MachineConfig] = None,
     ncore_outcomes: Optional[Sequence[object]] = None,
+    alloc_outcomes: Optional[Sequence[object]] = None,
+    alloc_winloss: Optional[Sequence[object]] = None,
 ) -> str:
     """Render the markdown report from already-gathered inputs."""
     config = config or experiment_config()
@@ -219,6 +285,9 @@ def render_report(
     lines += [""]
     if ncore_outcomes:
         lines += _ncore_section(ncore_outcomes)
+        lines += [""]
+    if alloc_outcomes:
+        lines += _alloc_section(alloc_outcomes, alloc_winloss or ())
         lines += [""]
     if validation is not None:
         lines += _validation_section(validation)
@@ -240,12 +309,16 @@ def generate_perf_report(
     validate: bool = True,
     config: Optional[MachineConfig] = None,
     ncore_counts: Optional[Sequence[int]] = None,
+    alloc_counts: Optional[Sequence[int]] = None,
 ) -> str:
     """Gather inputs, render the report, optionally write it to ``out``.
 
     ``ncore_counts`` adds the N-core scaling section: the Fig. 16 blend
     co-run at each machine size (results come from the shared two-level
     simulation cache, so a CI re-render after the sweep is warm).
+    ``alloc_counts`` adds the allocation section: every pairing policy
+    swept at each size, plus the per-pair sharing win/loss table under
+    the symbiosis placement at the largest size.
     """
     if scale <= 0:
         raise ConfigurationError(f"scale must be positive, got {scale}")
@@ -255,6 +328,13 @@ def generate_perf_report(
         from repro.analysis.experiments import ncore_sweep
 
         ncore_outcomes = ncore_sweep(tuple(ncore_counts), scale=scale)
+    alloc_outcomes = None
+    winloss = None
+    if alloc_counts:
+        from repro.analysis.experiments import alloc_sweep, alloc_winloss
+
+        alloc_outcomes = alloc_sweep(tuple(alloc_counts), scale=scale)
+        winloss = alloc_winloss(max(alloc_counts), scale=scale)
     validation = (
         validate_ecm(
             workload_ids=workload_ids, policies=policies, scale=scale, config=config
@@ -263,7 +343,12 @@ def generate_perf_report(
         else None
     )
     text = render_report(
-        records, validation, config=config, ncore_outcomes=ncore_outcomes
+        records,
+        validation,
+        config=config,
+        ncore_outcomes=ncore_outcomes,
+        alloc_outcomes=alloc_outcomes,
+        alloc_winloss=winloss,
     )
     if out is not None:
         out = Path(out)

@@ -45,7 +45,9 @@ from repro.core.scalar_core import default_pre_decode
 #: v3: batch-execute dispatch backend added; its kill switch joins the key.
 #: v4: hierarchical wake index + sharded lane bookkeeping added; both kill
 #:     switches join the key.
-CACHE_VERSION = 4
+#: v5: allocation subsystem added; the ``alloc`` ingredient (placement/
+#:     calibration namespace) joins the key.
+CACHE_VERSION = 5
 
 #: Every engine kill switch, as ``(env_var, default_fn)`` pairs — the single
 #: source of truth :func:`simulation_key` folds into its digest.  A new
@@ -120,8 +122,15 @@ def simulation_key(
     jobs: Sequence[Optional[Job]],
     max_cycles: int = 3_000_000,
     salt: str = "",
+    alloc: str = "",
 ) -> str:
-    """Content hash identifying one simulation's full input."""
+    """Content hash identifying one simulation's full input.
+
+    ``alloc`` namespaces allocation-layer runs (e.g. symbiosis
+    calibration micro co-runs).  It stays ``""`` for ordinary complex
+    runs on purpose: placement is a pure pre-simulation decision, so the
+    same pair under any placement policy must share one cache entry.
+    """
     digest = hashlib.sha256()
     digest.update(f"v{CACHE_VERSION}".encode("utf-8"))
     # Engine kill switches (REPRO_NO_*) select bit-identical fast paths, but
@@ -134,6 +143,7 @@ def simulation_key(
     digest.update(policy_key.encode("utf-8"))
     digest.update(str(max_cycles).encode("utf-8"))
     digest.update(salt.encode("utf-8"))
+    digest.update(f"alloc:{alloc}".encode("utf-8"))
     for job in jobs:
         _feed_job(digest, job)
     return digest.hexdigest()

@@ -41,6 +41,16 @@ Commands
     the curated high-signal combinations for expensive smokes.
     Diverging cases are shrunk to minimal repros and emitted as
     regression tests.
+``alloc-sweep``
+    Sweep thread-to-core allocation (pairing) policies on large
+    machines: the Fig. 16 blend tiled across ``--cores N`` machines,
+    placed into two-core complexes by each ``--alloc`` policy (random /
+    round-robin / oi-balance / oi-pack / symbiosis), every complex then
+    co-run under the ``--policies`` sharing modes.  ``--calibrate``
+    refines the symbiosis compatibility matrix with short cached micro
+    co-runs; ``--report OUT.json`` emits per-pair cycles plus run-
+    fingerprint digests (CI asserts the digests are placement-
+    invariant).  See ``docs/allocation.md``.
 ``serve``
     Run the simulation daemon: a long-lived asyncio service owning a
     supervised worker pool, admitting jobs over a local socket with
@@ -100,7 +110,12 @@ from repro.analysis.area import area_model
 from repro.analysis.experiments import motivation_fig2, pair_outcome, table5_rows
 from repro.analysis.reporting import format_table
 from repro.analysis.trace import export_trace, phase_gantt
-from repro.common.config import experiment_config, table4_config
+from repro.common.config import (
+    experiment_config,
+    table4_config,
+    validate_core_count,
+    validate_core_counts,
+)
 from repro.core.partition import greedy_partition
 from repro.core.roofline import RooflineModel
 from repro.isa.registers import OIValue
@@ -111,7 +126,12 @@ POLICY_KEYS = ("private", "fts", "vls", "occamy")
 
 def _cmd_motivate(args: argparse.Namespace) -> int:
     if args.cores:
+        args.cores = validate_core_counts(args.cores)
         return _motivate_ncore(args)
+    if args.alloc:
+        from repro.common.errors import ConfigurationError
+
+        raise ConfigurationError("--alloc requires --cores (an N-core sweep)")
     result = motivation_fig2(scale=args.scale, jobs=args.jobs)
     rows = []
     for key in POLICY_KEYS:
@@ -136,6 +156,24 @@ def _cmd_motivate(args: argparse.Namespace) -> int:
 def _motivate_ncore(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import NCORE_POLICY_KEYS, ncore_outcome
 
+    if args.alloc:
+        from repro.analysis.experiments import alloc_outcome
+
+        for num_cores in args.cores:
+            outcome = alloc_outcome(
+                num_cores, args.alloc, scale=args.scale, calibrate=args.calibrate
+            )
+            rows = [
+                [outcome.pair_label(index), result.total_cycles]
+                for index, result in enumerate(outcome.results)
+            ]
+            print(
+                f"\n{num_cores} cores, alloc={args.alloc}, "
+                f"sharing={outcome.sharing_key}:"
+            )
+            print(format_table(["pair", "cycles"], rows))
+            print(f"per-thread geomean: {outcome.geomean_cycles():.1f}")
+        return 0
     for num_cores in args.cores:
         outcome = ncore_outcome(num_cores, scale=args.scale)
         rows = []
@@ -285,6 +323,12 @@ def _cmd_perf_report(args: argparse.Namespace) -> int:
     policies = (
         tuple(args.policies.split(",")) if args.policies else ECM_VALIDATION_POLICIES
     )
+    ncore_counts = validate_core_counts(args.cores) if args.cores else None
+    alloc_counts = (
+        validate_core_counts(args.alloc_cores, source="--alloc-cores")
+        if args.alloc_cores
+        else None
+    )
     text = generate_perf_report(
         bench_dir=Path(args.bench_dir),
         out=Path(args.out) if args.out else None,
@@ -292,12 +336,71 @@ def _cmd_perf_report(args: argparse.Namespace) -> int:
         workload_ids=workload_ids,
         policies=policies,
         validate=not args.skip_validation,
-        ncore_counts=args.cores,
+        ncore_counts=ncore_counts,
+        alloc_counts=alloc_counts,
     )
     if args.out:
         print(f"perf report written to {args.out}")
     else:
         print(text, end="")
+    return 0
+
+
+def _cmd_alloc_sweep(args: argparse.Namespace) -> int:
+    import hashlib
+    import json
+
+    from repro.alloc import ALLOC_POLICY_KEYS
+    from repro.analysis.experiments import alloc_sweep
+    from repro.validation.fingerprint import run_fingerprint
+
+    core_counts = validate_core_counts(args.cores)
+    alloc_keys = tuple(args.alloc.split(",")) if args.alloc else ALLOC_POLICY_KEYS
+    sharing_keys = tuple(args.policies.split(",")) if args.policies else ("occamy",)
+    outcomes = alloc_sweep(
+        core_counts,
+        alloc_keys=alloc_keys,
+        sharing_keys=sharing_keys,
+        scale=args.scale,
+        seed=args.seed,
+        calibrate=args.calibrate,
+    )
+    report = []
+    for outcome in outcomes:
+        rows = []
+        pairs = []
+        for index, result in enumerate(outcome.results):
+            digest = hashlib.sha256(
+                repr(run_fingerprint(result)).encode("utf-8")
+            ).hexdigest()
+            rows.append([outcome.pair_label(index), result.total_cycles, digest[:16]])
+            pairs.append(
+                {
+                    "label": outcome.pair_label(index),
+                    "workloads": list(outcome.complex_workloads(index)),
+                    "cycles": result.total_cycles,
+                    "fingerprint": digest,
+                }
+            )
+        print(
+            f"\n{outcome.num_cores} cores, alloc={outcome.alloc_key}, "
+            f"sharing={outcome.sharing_key}:"
+        )
+        print(format_table(["pair", "cycles", "fingerprint"], rows))
+        print(f"per-thread geomean: {outcome.geomean_cycles():.1f}")
+        report.append(
+            {
+                "num_cores": outcome.num_cores,
+                "alloc": outcome.alloc_key,
+                "sharing": outcome.sharing_key,
+                "geomean_cycles": outcome.geomean_cycles(),
+                "pairs": pairs,
+            }
+        )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump({"sweep": report}, handle, indent=2, sort_keys=True)
+        print(f"\nreport written to {args.report}")
     return 0
 
 
@@ -322,10 +425,12 @@ def _cmd_diff_fuzz(args: argparse.Namespace) -> int:
     else:
         policies = DEFAULT_POLICIES
     engines = KEY_ENGINES if args.engines == "key" else FAST_ENGINES
+    cores = validate_core_count(args.cores)
     seeds = list(range(args.start, args.start + args.seeds))
     runs = len(seeds) * len(policies) * (len(engines) + 1)
+    alloc_note = f", alloc={args.alloc}" if args.alloc else ""
     print(
-        f"diff-fuzz: {len(seeds)} case(s), {args.cores} cores, "
+        f"diff-fuzz: {len(seeds)} case(s), {cores} cores{alloc_note}, "
         f"policies {', '.join(policies)}, "
         f"{len(engines)} engine(s) vs {BASELINE_ENGINE.label} "
         f"({runs} runs)"
@@ -336,7 +441,8 @@ def _cmd_diff_fuzz(args: argparse.Namespace) -> int:
         engines=engines,
         audit=True if args.audit else None,
         progress=print,
-        num_cores=args.cores,
+        num_cores=cores,
+        alloc=args.alloc,
     )
     if report.clean:
         print(f"OK: {report.runs} runs, all engines bit-identical")
@@ -880,11 +986,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     motivate.add_argument("--scale", type=float, default=0.5)
     motivate.add_argument(
-        "--cores", type=int, nargs="+", default=None, metavar="N",
-        choices=(2, 4, 8, 16, 32),
+        "--cores", nargs="+", default=None, metavar="N",
         help="instead of the 2-core Fig. 2 pair, sweep the N-core scaling "
         "matrix (Fig. 16 blend tiled across each machine size, co-run "
         "under private/occamy/fts/cts); e.g. --cores 8 16 32",
+    )
+    motivate.add_argument(
+        "--alloc", default=None, metavar="POLICY",
+        help="with --cores: place the blend with this allocation policy "
+        "(random / round-robin / oi-balance / oi-pack / symbiosis) and "
+        "report per-pair cycles instead of the sharing-mode matrix",
+    )
+    motivate.add_argument(
+        "--calibrate", action="store_true",
+        help="with --alloc symbiosis: refine the ECM compatibility matrix "
+        "with short micro co-runs (cached)",
     )
     motivate.set_defaults(func=_cmd_motivate)
 
@@ -968,11 +1084,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the ECM-vs-simulator sweep (report benches only)",
     )
     perf_report.add_argument(
-        "--cores", type=int, nargs="+", default=None, metavar="N",
-        choices=(2, 4, 8, 16, 32),
+        "--cores", nargs="+", default=None, metavar="N",
         help="add the N-core scaling section: per-core-count geomean "
         "speedups of occamy/fts/cts over Private on the tiled Fig. 16 "
         "blend (e.g. --cores 8 16 32)",
+    )
+    perf_report.add_argument(
+        "--alloc-cores", nargs="+", default=None, metavar="N",
+        help="add the allocation section: every pairing policy swept at "
+        "each size plus the per-pair sharing win/loss table under the "
+        "symbiosis placement (e.g. --alloc-cores 16)",
     )
     perf_report.set_defaults(func=_cmd_perf_report)
 
@@ -995,9 +1116,16 @@ def build_parser() -> argparse.ArgumentParser:
         "per sharing mode)",
     )
     diff_fuzz.add_argument(
-        "--cores", type=int, default=2, metavar="N",
+        "--cores", default=2, metavar="N",
         help="generate N-core co-run cases on an N-core machine "
         "(default 2)",
+    )
+    diff_fuzz.add_argument(
+        "--alloc", default=None, metavar="POLICY",
+        help="split each generated N-core case into two-core complexes "
+        "with this allocation policy and diff every complex "
+        "independently — exercises the placement layer's simulation "
+        "invariance",
     )
     diff_fuzz.add_argument(
         "--engines", choices=("all", "key"), default="all",
@@ -1024,6 +1152,44 @@ def build_parser() -> argparse.ArgumentParser:
         "(default tests/regressions)",
     )
     diff_fuzz.set_defaults(func=_cmd_diff_fuzz)
+
+    alloc_sweep = sub.add_parser(
+        "alloc-sweep",
+        help="sweep thread-to-core allocation policies on large machines",
+        parents=[runtime],
+    )
+    alloc_sweep.add_argument(
+        "--cores", nargs="+", default=["16"], metavar="N",
+        help="machine sizes to sweep (default 16); threads are the tiled "
+        "Fig. 16 blend, placed into two-core complexes",
+    )
+    alloc_sweep.add_argument(
+        "--alloc", default=None, metavar="KEYS",
+        help="comma-separated allocation policies (default: all of "
+        "random, round-robin, oi-balance, oi-pack, symbiosis)",
+    )
+    alloc_sweep.add_argument(
+        "--policies", default=None, metavar="KEYS",
+        help="comma-separated sharing policies run inside each complex "
+        "(default occamy)",
+    )
+    alloc_sweep.add_argument("--scale", type=float, default=0.2)
+    alloc_sweep.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="seed for the random placement baseline (default 0)",
+    )
+    alloc_sweep.add_argument(
+        "--calibrate", action="store_true",
+        help="refine the symbiosis matrix with short micro co-runs "
+        "(cached; only affects the symbiosis policy)",
+    )
+    alloc_sweep.add_argument(
+        "--report", default=None, metavar="OUT.json",
+        help="write a JSON report with per-pair cycles and run-"
+        "fingerprint digests (CI asserts digests are placement-"
+        "invariant)",
+    )
+    alloc_sweep.set_defaults(func=_cmd_alloc_sweep)
 
     # --- simulation service ---------------------------------------------------
 

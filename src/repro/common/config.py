@@ -226,6 +226,50 @@ class MachineConfig:
         return dataclasses.replace(self, num_cores=num_cores, vector=vector)
 
 
+def validate_core_count(value: object, source: str = "--cores") -> int:
+    """One validated core count from CLI-ish input.
+
+    Accepts ints or strings of ints; rejects non-integers (including
+    floats and bools), zero and negatives with a
+    :class:`ConfigurationError` naming the offending value and flag, so
+    bad CLI input exits 2 cleanly instead of surfacing a deep stack
+    trace from ``scaled_to_cores``.
+    """
+    if isinstance(value, bool):
+        raise ConfigurationError(f"{source}: {value!r} is not an integer core count")
+    if isinstance(value, str):
+        try:
+            value = int(value, 10)
+        except ValueError:
+            raise ConfigurationError(
+                f"{source}: {value!r} is not an integer core count"
+            ) from None
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise ConfigurationError(
+                f"{source}: {value!r} is not an integer core count"
+            )
+        value = int(value)
+    if not isinstance(value, int):
+        raise ConfigurationError(f"{source}: {value!r} is not an integer core count")
+    if value < 1:
+        raise ConfigurationError(f"{source}: core count must be positive, got {value}")
+    return value
+
+
+def validate_core_counts(values, source: str = "--cores") -> Tuple[int, ...]:
+    """Validate a CLI core-count list: integers, positive, no duplicates."""
+    counts = []
+    for value in values:
+        count = validate_core_count(value, source)
+        if count in counts:
+            raise ConfigurationError(f"{source}: duplicate core count {count}")
+        counts.append(count)
+    if not counts:
+        raise ConfigurationError(f"{source}: needs at least one core count")
+    return tuple(counts)
+
+
 def table4_config(num_cores: int = 2) -> MachineConfig:
     """The evaluated configuration of the paper's Table 4."""
     return MachineConfig().scaled_to_cores(num_cores)

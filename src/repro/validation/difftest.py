@@ -438,6 +438,62 @@ class FuzzReport:
         }
 
 
+def place_case(
+    spec: CaseSpec,
+    alloc_key: str,
+    complex_size: int = 2,
+    sharing_key: str = "occamy",
+    seed: int = 0,
+    config: Optional[MachineConfig] = None,
+) -> List[Tuple[Tuple[int, ...], CaseSpec]]:
+    """Split an N-core case into per-complex sub-cases via ``alloc_key``.
+
+    Returns ``(complex member indices, sub-case)`` pairs.  Placement is a
+    pure pre-simulation decision, so two policies forming the same
+    unordered core set produce byte-identical sub-cases — the diff-fuzz
+    matrix then proves every (placement, sharing-policy) combination
+    bit-identical across engines.
+    """
+    from repro.alloc import ALLOC_POLICIES_BY_KEY, AllocContext, ThreadSpec
+    from repro.common.errors import ConfigurationError
+
+    if alloc_key not in ALLOC_POLICIES_BY_KEY:
+        raise ConfigurationError(
+            f"unknown allocation policy {alloc_key!r} "
+            f"(have: {', '.join(sorted(ALLOC_POLICIES_BY_KEY))})"
+        )
+    kernels = case_kernels(spec)
+    if any(kernel is None for kernel in kernels):
+        raise ConfigurationError(
+            "placement-aware fuzzing needs every core populated "
+            f"(case seed {spec.seed} has idle slots)"
+        )
+    threads = [
+        ThreadSpec(key=f"c{core:02d}", kernel=kernel)
+        for core, kernel in enumerate(kernels)
+    ]
+    context = AllocContext(
+        config=config or experiment_config(complex_size),
+        sharing_key=sharing_key,
+        complex_size=complex_size,
+        seed=seed,
+    )
+    placement = ALLOC_POLICIES_BY_KEY[alloc_key](threads, context)
+    return [
+        (
+            members,
+            CaseSpec(
+                seed=spec.seed,
+                cores=tuple(spec.cores[index] for index in members),
+                unroll=spec.unroll,
+                fold_constants=spec.fold_constants,
+                fuse_fma=spec.fuse_fma,
+            ),
+        )
+        for members in placement
+    ]
+
+
 def fuzz_seeds(
     seeds: Sequence[int],
     policies: Sequence[str] = DEFAULT_POLICIES,
@@ -447,16 +503,48 @@ def fuzz_seeds(
     audit: Optional[bool] = None,
     progress: Optional[Callable[[str], None]] = None,
     num_cores: int = 2,
+    alloc: Optional[str] = None,
+    complex_size: int = 2,
 ) -> FuzzReport:
     """Run :func:`check_case` over ``seeds``; collect every divergence.
 
     ``num_cores`` widens the generated co-runs (and, when no explicit
-    ``config`` is given, the machine) — the N-core smoke lever.
+    ``config`` is given, the machine) — the N-core smoke lever.  With
+    ``alloc`` set, each N-core case is first split into 2-core complexes
+    by that allocation policy (:func:`place_case`) and every complex is
+    diffed independently on the complex-sized machine.
     """
-    if config is None:
-        config = experiment_config(num_cores)
     divergences: List[Divergence] = []
     runs_per_case = len(policies) * (len(engines) + 1)
+    if alloc is not None:
+        complex_config = config or experiment_config(complex_size)
+        total_runs = 0
+        for index, seed in enumerate(seeds):
+            spec = generate_case(seed, num_cores)
+            found: List[Divergence] = []
+            for _members, sub in place_case(
+                spec, alloc, complex_size=complex_size, config=complex_config
+            ):
+                found.extend(
+                    check_case(
+                        sub, policies, engines, complex_config, max_cycles, audit
+                    )
+                )
+                total_runs += runs_per_case
+            divergences.extend(found)
+            if progress is not None and ((index + 1) % 10 == 0 or found):
+                status = (
+                    f"{len(divergences)} divergence(s)" if divergences else "clean"
+                )
+                progress(f"  [{index + 1}/{len(seeds)}] seed {seed}: {status}")
+        return FuzzReport(
+            seeds=list(seeds),
+            cases=len(seeds),
+            runs=total_runs,
+            divergences=divergences,
+        )
+    if config is None:
+        config = experiment_config(num_cores)
     for index, seed in enumerate(seeds):
         spec = generate_case(seed, num_cores)
         found = check_case(spec, policies, engines, config, max_cycles, audit)

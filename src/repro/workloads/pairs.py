@@ -70,6 +70,37 @@ def all_pairs() -> List[CoRunPair]:
     return list(SPEC_PAIRS) + list(OPENCV_PAIRS)
 
 
+def dedup_unordered(keys: Sequence) -> List[Tuple]:
+    """Distinct *unordered* co-run pairs formable from a key multiset.
+
+    Placement makes pair order irrelevant, so (A,B) and (B,A) collapse to
+    one sorted entry; a self-pair (A,A) appears only when the multiset
+    actually holds two A's.  Keys may be workload ids or thread keys —
+    anything sortable.  Output is sorted and duplicate-free.
+    """
+    counts: dict = {}
+    for key in keys:
+        counts[key] = counts.get(key, 0) + 1
+    distinct = sorted(counts)
+    pairs: List[Tuple] = []
+    for i, a in enumerate(distinct):
+        if counts[a] >= 2:
+            pairs.append((a, a))
+        for b in distinct[i + 1 :]:
+            pairs.append((a, b))
+    return pairs
+
+
+def corun_pair_set(group: Sequence[int]) -> Tuple[Tuple[int, int], ...]:
+    """The deduplicated unordered pair-set a workload group can form.
+
+    This is the candidate set the allocation layer scores: every complex
+    any placement of ``group`` could create, each symmetric pair counted
+    once.
+    """
+    return tuple(dedup_unordered(list(group)))
+
+
 @lru_cache(maxsize=None)
 def _compiled(suite: str, workload_id: int, scale: float) -> Tuple[Kernel, Program]:
     if suite == "spec":

@@ -1,0 +1,75 @@
+"""Placement primitives: canonical form, validation, labels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc.placement import (
+    ThreadSpec,
+    canonical_placement,
+    num_complexes,
+    placement_labels,
+    thread_order,
+    validate_placement,
+)
+from repro.common.errors import ConfigurationError
+
+from tests.conftest import make_axpy
+
+
+def _threads(*keys):
+    kernel = make_axpy(length=64)
+    return [ThreadSpec(key=key, kernel=kernel) for key in keys]
+
+
+def test_thread_order_sorts_by_key_then_index():
+    threads = _threads("b", "a", "a")
+    assert thread_order(threads) == (1, 2, 0)
+
+
+def test_canonical_placement_is_order_irrelevant():
+    threads = _threads("a", "b", "c", "d")
+    forward = canonical_placement(threads, [(0, 1), (2, 3)])
+    shuffled = canonical_placement(threads, [(3, 2), (1, 0)])
+    assert forward == shuffled == ((0, 1), (2, 3))
+
+
+def test_canonical_placement_orders_complexes_by_member_keys():
+    threads = _threads("d", "c", "b", "a")
+    placement = canonical_placement(threads, [(0, 1), (2, 3)])
+    # complex holding "a"/"b" (indices 3/2) sorts first
+    assert placement == ((3, 2), (1, 0))
+
+
+def test_num_complexes_validates():
+    threads = _threads("a", "b", "c")
+    with pytest.raises(ConfigurationError, match="evenly"):
+        num_complexes(threads, 2)
+    with pytest.raises(ConfigurationError, match="positive"):
+        num_complexes(threads, 0)
+    with pytest.raises(ConfigurationError, match="at least one"):
+        num_complexes([], 2)
+    assert num_complexes(_threads("a", "b", "c", "d"), 2) == 2
+
+
+def test_validate_placement_names_the_violation():
+    threads = _threads("a", "b", "c", "d")
+    good = ((0, 1), (2, 3))
+    assert validate_placement(threads, good) is good
+    with pytest.raises(ConfigurationError, match="expected 2"):
+        validate_placement(threads, ((0, 1, 2, 3),))
+    with pytest.raises(ConfigurationError, match="member"):
+        validate_placement(threads, ((0, 1, 2), (3,)))
+    with pytest.raises(ConfigurationError, match="more than once"):
+        validate_placement(threads, ((0, 1), (1, 2)))
+    with pytest.raises(ConfigurationError, match="outside"):
+        validate_placement(threads, ((0, 1), (2, 9)))
+
+
+def test_placement_labels():
+    threads = _threads("spec:06", "spec:15", "spec:15", "spec:16")
+    placement = canonical_placement(threads, [(0, 3), (1, 2)])
+    assert placement_labels(threads, placement) == (
+        "spec:06+spec:16",
+        "spec:15+spec:15",
+    )

@@ -1,0 +1,97 @@
+"""The pairing-policy family: determinism, partitions, OI shaping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc import ALLOC_POLICIES_BY_KEY, ALLOC_POLICY_KEYS
+from repro.alloc.placement import ThreadSpec
+from repro.alloc.policies import (
+    AllocContext,
+    OiBalanceAllocation,
+    OiPackAllocation,
+    RandomAllocation,
+    RoundRobinAllocation,
+    thread_demand,
+)
+from repro.common.errors import ConfigurationError
+
+from tests.conftest import make_axpy, make_two_phase
+
+
+def _threads(count=4, kernel=None):
+    kernel = kernel or make_axpy(length=64)
+    return [ThreadSpec(key=f"t:{i:02d}", kernel=kernel) for i in range(count)]
+
+
+def _mixed_threads():
+    """Two bandwidth-hungry streaming threads + two compute-dense ones."""
+    streaming = make_axpy(length=4096)
+    compute = make_two_phase(length=256)
+    return [
+        ThreadSpec(key="mem:00", kernel=streaming),
+        ThreadSpec(key="mem:01", kernel=streaming),
+        ThreadSpec(key="cmp:02", kernel=compute),
+        ThreadSpec(key="cmp:03", kernel=compute),
+    ]
+
+
+def test_registry_is_complete_and_consistent():
+    assert ALLOC_POLICY_KEYS == (
+        "random",
+        "round-robin",
+        "oi-balance",
+        "oi-pack",
+        "symbiosis",
+    )
+    for key, policy in ALLOC_POLICIES_BY_KEY.items():
+        assert policy.key == key
+        assert policy.label
+
+
+@pytest.mark.parametrize("key", [k for k in ALLOC_POLICY_KEYS if k != "symbiosis"])
+def test_every_policy_returns_a_canonical_partition(key):
+    threads = _threads(6)
+    placement = ALLOC_POLICIES_BY_KEY[key](threads)
+    assert len(placement) == 3
+    flat = sorted(index for group in placement for index in group)
+    assert flat == list(range(6))
+    for group in placement:
+        assert list(group) == sorted(group)  # keys equal-width, so index order
+
+
+def test_random_is_seed_deterministic():
+    threads = _threads(8)
+    policy = RandomAllocation()
+    a = policy(threads, AllocContext(seed=7))
+    b = policy(threads, AllocContext(seed=7))
+    assert a == b
+    different = {policy(threads, AllocContext(seed=s)) for s in range(6)}
+    assert len(different) > 1  # the seed actually matters
+
+
+def test_round_robin_deals_in_arrival_order():
+    threads = _threads(6)
+    placement = RoundRobinAllocation()(threads)
+    assert placement == ((0, 3), (1, 4), (2, 5))
+
+
+def test_oi_balance_mixes_and_oi_pack_separates():
+    threads = _mixed_threads()
+    context = AllocContext()
+    config = context.complex_config()
+    demands = {t.key: thread_demand(t, config) for t in threads}
+    assert demands["mem:00"] != demands["cmp:02"]  # the axis is real
+
+    kinds = lambda group: {threads[i].key.split(":")[0] for i in group}
+    balanced = OiBalanceAllocation()(threads, context)
+    for group in balanced:
+        assert kinds(group) == {"mem", "cmp"}  # one of each per complex
+    packed = OiPackAllocation()(threads, context)
+    for group in packed:
+        assert len(kinds(group)) == 1  # likes packed with likes
+
+
+def test_policies_reject_uneven_thread_counts():
+    with pytest.raises(ConfigurationError, match="evenly"):
+        RoundRobinAllocation()(_threads(5))

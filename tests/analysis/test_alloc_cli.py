@@ -1,0 +1,73 @@
+"""The ``repro alloc-sweep`` subcommand and --cores validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SCALE = "0.05"
+
+
+def test_alloc_sweep_report_fingerprints_are_placement_invariant(tmp_path, capsys):
+    """The CI smoke's identity assertion: the same pair label carries the
+    same run-fingerprint digest no matter which policy placed it."""
+    report = tmp_path / "alloc.json"
+    code = main(
+        [
+            "alloc-sweep",
+            "--cores", "4",
+            "--alloc", "random,round-robin,oi-balance,oi-pack",
+            "--scale", SCALE,
+            "--report", str(report),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(report.read_text())
+    by_label = {}
+    for entry in payload["sweep"]:
+        assert entry["num_cores"] == 4
+        assert entry["geomean_cycles"] > 0
+        for pair in entry["pairs"]:
+            seen = by_label.setdefault(pair["label"], pair["fingerprint"])
+            assert seen == pair["fingerprint"], (
+                f"pair {pair['label']} diverged across placements"
+            )
+    assert len(by_label) > 2
+    out = capsys.readouterr().out
+    assert "alloc=oi-pack" in out
+    assert "per-thread geomean" in out
+
+
+def test_alloc_sweep_rejects_unknown_policy(capsys):
+    assert main(["alloc-sweep", "--cores", "4", "--alloc", "nope",
+                 "--scale", SCALE]) == 2
+    assert "nope" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["alloc-sweep", "--cores", "4x"],
+        ["alloc-sweep", "--cores", "4", "4"],
+        ["alloc-sweep", "--cores", "-4"],
+        ["motivate", "--cores", "0"],
+        ["motivate", "--cores", "two"],
+        ["perf-report", "--skip-validation", "--cores", "4x"],
+        ["perf-report", "--skip-validation", "--alloc-cores", "0"],
+        ["diff-fuzz", "--seeds", "1", "--cores", "junk"],
+    ],
+)
+def test_bad_cores_values_exit_2_naming_the_value(argv, capsys):
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    bad = argv[-1] if argv[-1] != "4" else argv[-2]
+    assert bad.lstrip("-") in err or "duplicate" in err or "positive" in err
+
+
+def test_motivate_alloc_requires_cores(capsys):
+    assert main(["motivate", "--alloc", "symbiosis"]) == 2
+    assert "--cores" in capsys.readouterr().err

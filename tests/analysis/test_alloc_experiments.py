@@ -1,0 +1,96 @@
+"""The allocation sweep: placement invariance, outcomes, win/loss."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    alloc_group,
+    alloc_outcome,
+    alloc_sweep,
+    alloc_winloss,
+    ncore_group,
+)
+from repro.common.errors import ConfigurationError
+
+SCALE = 0.05
+
+
+def test_alloc_group_matches_ncore_group():
+    for count in (4, 8, 16):
+        assert alloc_group(count) == ncore_group(count)
+
+
+def test_placement_is_simulation_invariant():
+    """The tentpole invariant: a pair's simulation depends only on who
+    shares the complex, never on which policy placed them — identical
+    labels must mean identical cycles (served from one cache entry)."""
+    outcomes = {
+        key: alloc_outcome(4, key, scale=SCALE)
+        for key in ("random", "round-robin", "oi-balance", "oi-pack")
+    }
+    by_label = {}
+    for outcome in outcomes.values():
+        for index, result in enumerate(outcome.results):
+            label = outcome.pair_label(index)
+            cycles = by_label.setdefault(label, result.total_cycles)
+            assert cycles == result.total_cycles
+    # The 4-core blend (15,6,15,16) has exactly these formable pairs, and
+    # the four policies above cover more than one distinct pairing.
+    assert len(by_label) > 2
+
+
+def test_same_pair_set_means_same_outcome():
+    """Two policies choosing the same unordered pair-set are bit-equal in
+    everything downstream (geomean, per-pair cycles)."""
+    a = alloc_outcome(4, "round-robin", scale=SCALE)
+    b = alloc_outcome(4, "oi-balance", scale=SCALE)
+    if sorted(a.pair_labels()) == sorted(b.pair_labels()):
+        assert a.geomean_cycles() == pytest.approx(b.geomean_cycles())
+        assert sorted(a.pair_cycles()) == sorted(b.pair_cycles())
+
+
+def test_outcome_shape_and_metrics():
+    outcome = alloc_outcome(4, "oi-pack", scale=SCALE)
+    assert outcome.num_cores == 4
+    assert outcome.alloc_key == "oi-pack"
+    assert outcome.sharing_key == "occamy"
+    assert len(outcome.placement) == 2
+    assert len(outcome.results) == 2
+    assert len(outcome.thread_cycles()) == 4
+    assert all(cycles > 0 for cycles in outcome.thread_cycles())
+    assert outcome.geomean_cycles() > 0
+    assert outcome.makespan() == max(outcome.pair_cycles())
+    labels = outcome.pair_labels()
+    assert len(labels) == 2 and all("+" in label for label in labels)
+
+
+def test_alloc_outcome_validates_inputs():
+    with pytest.raises(ConfigurationError, match="positive"):
+        alloc_outcome(0, "random", scale=SCALE)
+    with pytest.raises(ConfigurationError, match="allocation"):
+        alloc_outcome(4, "best-effort", scale=SCALE)
+    with pytest.raises(ConfigurationError, match="sharing"):
+        alloc_outcome(4, "random", sharing_key="nope", scale=SCALE)
+    with pytest.raises(ConfigurationError, match="evenly"):
+        alloc_outcome(5, "random", scale=SCALE)
+
+
+def test_alloc_sweep_covers_the_grid():
+    outcomes = alloc_sweep(
+        (4,), alloc_keys=("random", "oi-pack"), sharing_keys=("occamy",),
+        scale=SCALE,
+    )
+    assert [(o.num_cores, o.sharing_key, o.alloc_key) for o in outcomes] == [
+        (4, "occamy", "random"),
+        (4, "occamy", "oi-pack"),
+    ]
+
+
+def test_winloss_rows_cover_every_complex():
+    rows = alloc_winloss(4, alloc_key="oi-balance", scale=SCALE)
+    assert len(rows) == 2
+    for row in rows:
+        assert set(row.cycles) == {"private", "occamy", "fts", "cts"}
+        assert row.winner in row.cycles
+        assert row.cycles[row.winner] == min(row.cycles.values())

@@ -61,6 +61,12 @@ def test_key_covers_every_simulation_input(config):
     assert simulation_key(config, PRIVATE.key, other_program) != base
     moved_image = [compiled_job(make_axpy(length=64), core_id=1), None]
     assert simulation_key(config, PRIVATE.key, moved_image) != base
+    # The allocation ingredient namespaces calibration micro co-runs away
+    # from ordinary complex runs; the default "" must be the identity.
+    assert simulation_key(config, PRIVATE.key, jobs, alloc="") == base
+    assert simulation_key(
+        config, PRIVATE.key, jobs, alloc="symbiosis-calib:occamy"
+    ) != base
 
 
 def test_key_covers_engine_kill_switches(config, monkeypatch):

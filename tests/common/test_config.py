@@ -134,3 +134,46 @@ class TestVectorConfigCeilings:
         # Eq. 2: width * vl * 16 bytes.
         vector = VectorConfig()
         assert vector.simd_issue_bandwidth(4) == 2 * 4 * 16
+
+
+class TestValidateCoreCounts:
+    """Satellite: --cores values are validated everywhere they appear."""
+
+    def test_accepts_ints_and_numeric_strings(self):
+        from repro.common.config import validate_core_count, validate_core_counts
+
+        assert validate_core_count(4) == 4
+        assert validate_core_count("16") == 16
+        assert validate_core_counts(["2", 4, "8"]) == (2, 4, 8)
+
+    def test_rejects_non_integers_naming_the_value(self):
+        from repro.common.config import validate_core_count
+
+        with pytest.raises(ConfigurationError, match="'4x'"):
+            validate_core_count("4x")
+        with pytest.raises(ConfigurationError, match="2.5"):
+            validate_core_count(2.5)
+        with pytest.raises(ConfigurationError, match="True"):
+            validate_core_count(True)
+
+    def test_rejects_non_positive(self):
+        from repro.common.config import validate_core_count
+
+        with pytest.raises(ConfigurationError, match="got 0"):
+            validate_core_count(0)
+        with pytest.raises(ConfigurationError, match="got -2"):
+            validate_core_count(-2)
+
+    def test_rejects_duplicates_and_empty(self):
+        from repro.common.config import validate_core_counts
+
+        with pytest.raises(ConfigurationError, match="duplicate core count 8"):
+            validate_core_counts([4, 8, "8"])
+        with pytest.raises(ConfigurationError, match="at least one"):
+            validate_core_counts([])
+
+    def test_names_the_source_flag(self):
+        from repro.common.config import validate_core_counts
+
+        with pytest.raises(ConfigurationError, match="--alloc-cores"):
+            validate_core_counts(["x"], source="--alloc-cores")
